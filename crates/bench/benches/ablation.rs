@@ -1,0 +1,103 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **Bandwidth model** — per-link (default) vs shared supplier outbound;
+//!   the shared model reproduces the paper's bandwidth-starved regime.
+//! * **Rarity definition** — the paper's buffer-position product (eq. 8) vs
+//!   the traditional `1/n` rarity it argues against.
+//! * **Supplier assignment** — the greedy heuristic of Algorithm 1 vs the
+//!   exact exponential solver on micro instances.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fss_core::{greedy_assign, optimal_assign, rarity, traditional_rarity, AssignmentOrder};
+use fss_experiments::{run_scenario, Algorithm, Environment, ScenarioConfig};
+use fss_gossip::{
+    CandidateSegment, SchedulingContext, SegmentId, SessionView, SourceId, SupplierInfo,
+};
+
+fn bench_bandwidth_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bandwidth_model");
+    group.sample_size(10);
+
+    group.bench_function("per_link_80_nodes", |b| {
+        let config = ScenarioConfig::quick(80, Algorithm::Fast, Environment::Static);
+        b.iter(|| run_scenario(&config))
+    });
+    group.bench_function("shared_80_nodes", |b| {
+        let config = ScenarioConfig {
+            shared_supplier_capacity: true,
+            max_switch_periods: 120,
+            ..ScenarioConfig::quick(80, Algorithm::Fast, Environment::Static)
+        };
+        b.iter(|| run_scenario(&config))
+    });
+    group.finish();
+}
+
+fn micro_context(n: u64, suppliers: u32) -> SchedulingContext {
+    let candidates = (0..n)
+        .map(|k| CandidateSegment {
+            id: SegmentId(150 + k),
+            suppliers: (0..suppliers)
+                .map(|s| SupplierInfo {
+                    peer: s + 1,
+                    rate: 3.0 + s as f64,
+                    buffer_position: 100 + k as usize,
+                    buffer_capacity: 600,
+                })
+                .collect(),
+        })
+        .collect();
+    SchedulingContext {
+        tau_secs: 1.0,
+        play_rate: 10.0,
+        inbound_rate: 15.0,
+        id_play: SegmentId(150),
+        startup_q: 10,
+        new_source_qs: 50,
+        old_session: Some(SessionView {
+            id: SourceId(0),
+            first_segment: SegmentId(0),
+            last_segment: Some(SegmentId(199)),
+        }),
+        new_session: Some(SessionView {
+            id: SourceId(1),
+            first_segment: SegmentId(200),
+            last_segment: None,
+        }),
+        q1: n as usize,
+        q2: 50,
+        candidates,
+    }
+}
+
+fn bench_assignment_gap(c: &mut Criterion) {
+    let ctx = micro_context(8, 3);
+    let mut group = c.benchmark_group("ablation_assignment");
+    group.bench_function("greedy_8_candidates", |b| {
+        b.iter(|| greedy_assign(black_box(&ctx), AssignmentOrder::ByPriority))
+    });
+    group.bench_function("exact_8_candidates", |b| {
+        b.iter(|| optimal_assign(black_box(&ctx)))
+    });
+    group.finish();
+}
+
+fn bench_rarity_definitions(c: &mut Criterion) {
+    let positions: Vec<(usize, usize)> = (0..5).map(|i| (100 + i * 90, 600)).collect();
+    let mut group = c.benchmark_group("ablation_rarity");
+    group.bench_function("paper_buffer_position_product", |b| {
+        b.iter(|| rarity(black_box(&positions)))
+    });
+    group.bench_function("traditional_one_over_n", |b| {
+        b.iter(|| traditional_rarity(black_box(5)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bandwidth_model,
+    bench_assignment_gap,
+    bench_rarity_definitions
+);
+criterion_main!(benches);

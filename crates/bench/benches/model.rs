@@ -1,0 +1,26 @@
+//! Benchmarks of the switch-process model (Section 3).
+//!
+//! Confirms that the closed-form optimal split is essentially free compared
+//! with a numeric minimisation of the same objective.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fss_core::SwitchModel;
+
+fn bench_model(c: &mut Criterion) {
+    let model = SwitchModel::new(100.0, 50.0, 10.0, 10.0, 15.0);
+
+    let mut group = c.benchmark_group("model");
+    group.bench_function("closed_form_split", |b| {
+        b.iter(|| black_box(model).optimal_split())
+    });
+    group.bench_function("numeric_split_1k_steps", |b| {
+        b.iter(|| black_box(model).numeric_best_split(1_000))
+    });
+    group.bench_function("startup_delay_eval", |b| {
+        b.iter(|| black_box(model).startup_delay_secs(black_box(9.0), black_box(6.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

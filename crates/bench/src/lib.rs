@@ -1,0 +1,1 @@
+//! Benchmark harness crate; all content lives under `benches/`.

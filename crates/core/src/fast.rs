@@ -1,0 +1,224 @@
+//! The Fast Switch Algorithm (Algorithm 1).
+//!
+//! Each period the scheduler:
+//!
+//! 1. scores every candidate segment with `priority = max(urgency, rarity)`
+//!    and greedily assigns each one to the supplier that can deliver it
+//!    earliest within the period, yielding the ordered schedulable sets `O1`
+//!    and `O2` ([`greedy_assign`]),
+//! 2. computes the ideal inbound split `r1`/`r2` from the closed-form model
+//!    ([`SwitchModel::optimal_split`]),
+//! 3. clamps it to the available supply with the four-case rule
+//!    ([`allocate_rates`]), and
+//! 4. requests the first `I1` segments of `O1` and the first `I2` segments of
+//!    `O2`, interleaved by priority.
+//!
+//! Outside of a switch (only one stream has schedulable segments) it degrades
+//! to a plain priority scheduler, which is what the underlying pull-based
+//! protocol does anyway.
+
+use crate::allocation::allocate_rates;
+use crate::assign::{greedy_assign, AssignedSegment, AssignmentOrder};
+use crate::model::SwitchModel;
+use fss_gossip::{SchedulingContext, SegmentRequest, SegmentScheduler};
+
+/// The paper's proposed scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastSwitchScheduler;
+
+impl FastSwitchScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        FastSwitchScheduler
+    }
+}
+
+/// Merges the selected old/new segments into one request list ordered by
+/// decreasing priority.
+fn merge_by_priority(old: &[AssignedSegment], new: &[AssignedSegment]) -> Vec<SegmentRequest> {
+    let mut all: Vec<&AssignedSegment> = old.iter().chain(new.iter()).collect();
+    all.sort_by(|a, b| {
+        b.priority
+            .priority
+            .partial_cmp(&a.priority.priority)
+            .expect("priorities are finite")
+            .then(a.id.cmp(&b.id))
+    });
+    all.into_iter()
+        .map(|a| SegmentRequest {
+            segment: a.id,
+            supplier: a.supplier,
+        })
+        .collect()
+}
+
+impl SegmentScheduler for FastSwitchScheduler {
+    fn name(&self) -> &'static str {
+        "fast-switch"
+    }
+
+    fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest> {
+        let budget = ctx.inbound_budget();
+        if budget == 0 || ctx.candidates.is_empty() {
+            return Vec::new();
+        }
+        let outcome = greedy_assign(ctx, AssignmentOrder::ByPriority);
+
+        // Only one stream has anything schedulable: plain priority retrieval.
+        if outcome.old.is_empty() || outcome.new.is_empty() || !ctx.switch_in_progress() {
+            let merged = merge_by_priority(&outcome.old, &outcome.new);
+            return merged.into_iter().take(budget).collect();
+        }
+
+        // Ideal split, clamped by the four-case rule.
+        let model = SwitchModel::new(
+            ctx.q1.max(1) as f64,
+            ctx.q2 as f64,
+            ctx.startup_q as f64,
+            ctx.play_rate,
+            ctx.inbound_rate,
+        );
+        let split = model.optimal_split();
+        let allocation = allocate_rates(
+            split,
+            outcome.available_old(),
+            outcome.available_new(),
+            budget,
+            ctx.tau_secs,
+        );
+
+        merge_by_priority(
+            &outcome.old[..allocation.old_segments],
+            &outcome.new[..allocation.new_segments],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fss_gossip::{CandidateSegment, SegmentId, SessionView, SourceId, StreamClass, SupplierInfo};
+
+    fn supplier(peer: u32, rate: f64, position: usize) -> SupplierInfo {
+        SupplierInfo {
+            peer,
+            rate,
+            buffer_position: position,
+            buffer_capacity: 600,
+        }
+    }
+
+    /// A node 60 segments behind the old stream's end, with the whole old
+    /// tail and the first new segments available from ample suppliers.
+    fn switch_ctx(inbound: f64) -> SchedulingContext {
+        let mut candidates = Vec::new();
+        // Old source: missing 140..=199 (60 segments).
+        for id in 140..200u64 {
+            candidates.push(CandidateSegment {
+                id: SegmentId(id),
+                suppliers: vec![supplier(1, 20.0, 300), supplier(2, 20.0, 200)],
+            });
+        }
+        // New source: missing 200..=229 (30 segments available so far).
+        for id in 200..230u64 {
+            candidates.push(CandidateSegment {
+                id: SegmentId(id),
+                suppliers: vec![supplier(3, 20.0, 30), supplier(4, 20.0, 20)],
+            });
+        }
+        SchedulingContext {
+            tau_secs: 1.0,
+            play_rate: 10.0,
+            inbound_rate: inbound,
+            id_play: SegmentId(140),
+            startup_q: 10,
+            new_source_qs: 50,
+            old_session: Some(SessionView {
+                id: SourceId(0),
+                first_segment: SegmentId(0),
+                last_segment: Some(SegmentId(199)),
+            }),
+            new_session: Some(SessionView {
+                id: SourceId(1),
+                first_segment: SegmentId(200),
+                last_segment: None,
+            }),
+            q1: 60,
+            q2: 50,
+            candidates,
+        }
+    }
+
+    #[test]
+    fn interleaves_old_and_new_requests() {
+        let ctx = switch_ctx(15.0);
+        let requests = FastSwitchScheduler::new().schedule(&ctx);
+        assert!(!requests.is_empty());
+        assert!(requests.len() <= ctx.inbound_budget());
+        let old = requests
+            .iter()
+            .filter(|r| ctx.class_of(r.segment) == StreamClass::Old)
+            .count();
+        let new = requests.len() - old;
+        assert!(old > 0, "some inbound goes to the old source");
+        assert!(new > 0, "some inbound goes to the new source");
+
+        // The split follows the model: with Q1 = 60, Q2 = 50, Q = 10, p = 10,
+        // I = 15 the ideal r1 ≈ 9.27, so roughly 9 old and 6 new.
+        let split = SwitchModel::new(60.0, 50.0, 10.0, 10.0, 15.0).optimal_split();
+        assert!((old as f64 - split.r1).abs() <= 1.0, "old={old} r1={}", split.r1);
+        assert!((new as f64 - split.r2).abs() <= 1.0, "new={new} r2={}", split.r2);
+    }
+
+    #[test]
+    fn never_exceeds_the_inbound_budget() {
+        for inbound in [1.0, 5.0, 10.0, 15.0, 33.0] {
+            let ctx = switch_ctx(inbound);
+            let requests = FastSwitchScheduler::new().schedule(&ctx);
+            assert!(requests.len() <= ctx.inbound_budget());
+        }
+    }
+
+    #[test]
+    fn no_candidates_or_budget_yields_no_requests() {
+        let mut ctx = switch_ctx(15.0);
+        ctx.candidates.clear();
+        assert!(FastSwitchScheduler::new().schedule(&ctx).is_empty());
+
+        let mut ctx = switch_ctx(15.0);
+        ctx.inbound_rate = 0.5;
+        assert!(FastSwitchScheduler::new().schedule(&ctx).is_empty());
+    }
+
+    #[test]
+    fn single_stream_contexts_fall_back_to_priority_order() {
+        let mut ctx = switch_ctx(15.0);
+        // Remove every new-source candidate: no switch decision to make.
+        ctx.candidates.retain(|c| c.id < SegmentId(200));
+        ctx.new_session = None;
+        ctx.q2 = 0;
+        let requests = FastSwitchScheduler::new().schedule(&ctx);
+        assert_eq!(requests.len(), ctx.inbound_budget());
+        // Most urgent (earliest) segments are requested first.
+        assert_eq!(requests[0].segment, SegmentId(140));
+    }
+
+    #[test]
+    fn requests_are_unique_and_reference_candidate_suppliers() {
+        let ctx = switch_ctx(15.0);
+        let requests = FastSwitchScheduler::new().schedule(&ctx);
+        let mut ids: Vec<_> = requests.iter().map(|r| r.segment).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), requests.len());
+        for r in &requests {
+            let c = ctx.candidates.iter().find(|c| c.id == r.segment).unwrap();
+            assert!(c.suppliers.iter().any(|s| s.peer == r.supplier));
+        }
+    }
+
+    #[test]
+    fn scheduler_name_is_stable() {
+        assert_eq!(FastSwitchScheduler::new().name(), "fast-switch");
+    }
+}

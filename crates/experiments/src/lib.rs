@@ -1,0 +1,25 @@
+//! Experiment harness reproducing the paper's evaluation (Section 5).
+//!
+//! * [`scenario`] — configuration of one simulation run (network size,
+//!   algorithm, static/dynamic environment, warm-up length),
+//! * [`runner`] — runs one scenario end to end and aggregates its metrics;
+//!   [`runner::run_comparison`] runs the fast and normal algorithms on the
+//!   *same* workload,
+//! * [`sweep`] — parallel sweeps over network sizes (crossbeam scoped
+//!   threads, one simulation per thread),
+//! * [`figures`] — one module per evaluation figure (5–12) producing the
+//!   table/series the paper plots.
+//!
+//! The `figures` binary (`cargo run -p fss-experiments --bin figures`)
+//! regenerates every figure and writes the tables to stdout and/or files.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+pub mod scenario;
+pub mod sweep;
+
+pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
+pub use scenario::{Algorithm, Environment, ScenarioConfig};
+pub use sweep::{sweep_sizes, SweepPoint};

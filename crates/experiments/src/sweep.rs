@@ -1,0 +1,126 @@
+//! Parallel sweeps over network sizes.
+//!
+//! Each `(size, algorithm)` pair is an independent simulation, so the sweep
+//! fans them out over crossbeam scoped threads.  Every simulation uses its own
+//! deterministic seeds, so the parallel schedule cannot change any result.
+
+use crate::runner::{run_scenario, ComparisonResult, RunResult};
+use crate::scenario::{Algorithm, Environment, ScenarioConfig};
+
+/// The comparison at one network size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Fast-vs-normal comparison at that size.
+    pub comparison: ComparisonResult,
+}
+
+impl SweepPoint {
+    /// Reduction ratio at this size.
+    pub fn reduction_ratio(&self) -> f64 {
+        self.comparison.reduction_ratio()
+    }
+}
+
+/// Runs the fast and normal algorithms at every size in `sizes`, in parallel,
+/// and returns the results ordered by size.
+///
+/// `base` provides everything except the size and algorithm (environment,
+/// warm-up, seeds...).
+pub fn sweep_sizes(sizes: &[usize], base: &ScenarioConfig) -> Vec<SweepPoint> {
+    let mut jobs: Vec<(usize, Algorithm)> = Vec::new();
+    for &nodes in sizes {
+        for algorithm in Algorithm::ALL {
+            jobs.push((nodes, algorithm));
+        }
+    }
+
+    let results: Vec<(usize, Algorithm, RunResult)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(nodes, algorithm)| {
+                let config = ScenarioConfig {
+                    nodes,
+                    algorithm,
+                    trace_seed: base.trace_seed ^ nodes as u64,
+                    ..*base
+                };
+                scope.spawn(move |_| (nodes, algorithm, run_scenario(&config)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut points = Vec::with_capacity(sizes.len());
+    for &nodes in sizes {
+        let fast = results
+            .iter()
+            .find(|(n, a, _)| *n == nodes && *a == Algorithm::Fast)
+            .map(|(_, _, r)| r.clone())
+            .expect("fast run present");
+        let normal = results
+            .iter()
+            .find(|(n, a, _)| *n == nodes && *a == Algorithm::Normal)
+            .map(|(_, _, r)| r.clone())
+            .expect("normal run present");
+        points.push(SweepPoint {
+            nodes,
+            comparison: ComparisonResult { fast, normal },
+        });
+    }
+    points
+}
+
+/// The network sizes the paper sweeps in Figures 6–8 and 10–12.
+pub const PAPER_SIZES: [usize; 6] = [100, 500, 1_000, 2_000, 4_000, 8_000];
+
+/// A reduced size sweep for quick runs, preserving the ordering of scales.
+pub const QUICK_SIZES: [usize; 3] = [100, 250, 500];
+
+/// Convenience: a paper-parameter sweep for one environment.
+pub fn paper_sweep(environment: Environment) -> Vec<SweepPoint> {
+    let base = ScenarioConfig::paper(PAPER_SIZES[0], Algorithm::Fast, environment);
+    sweep_sizes(&PAPER_SIZES, &base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_orders_results_by_size_and_pairs_algorithms() {
+        let base = ScenarioConfig::quick(50, Algorithm::Fast, Environment::Static);
+        let points = sweep_sizes(&[50, 90], &base);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].nodes, 50);
+        assert_eq!(points[1].nodes, 90);
+        for p in &points {
+            assert_eq!(p.comparison.fast.algorithm, Algorithm::Fast);
+            assert_eq!(p.comparison.normal.algorithm, Algorithm::Normal);
+            assert_eq!(p.comparison.fast.nodes, p.nodes);
+            assert!(p.comparison.fast.completed);
+            assert!(p.comparison.normal.completed);
+            assert!(p.reduction_ratio().is_finite());
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let base = ScenarioConfig::quick(60, Algorithm::Fast, Environment::Static);
+        let a = sweep_sizes(&[60], &base);
+        let b = sweep_sizes(&[60], &base);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_constants_are_sane() {
+        assert_eq!(PAPER_SIZES.len(), 6);
+        assert!(PAPER_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(QUICK_SIZES.windows(2).all(|w| w[0] < w[1]));
+    }
+}

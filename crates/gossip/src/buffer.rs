@@ -1,0 +1,301 @@
+//! Per-node FIFO segment buffer.
+//!
+//! Each node holds a buffer of `B` segments (600 in the paper).  The
+//! replacement strategy is FIFO: when a new segment arrives and the buffer is
+//! full the *oldest arrival* is evicted.  The paper's rarity computation
+//! (eq. 8) needs, for every candidate segment, its **position** in each
+//! supplier's buffer measured as the distance from the buffer tail (the
+//! insertion end): a freshly inserted segment has position 1, the next
+//! segment to be evicted has position `len()`.
+
+use crate::segment::SegmentId;
+use std::collections::{BTreeSet, VecDeque};
+
+/// FIFO buffer of segment ids with O(log B) membership queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FifoBuffer {
+    capacity: usize,
+    /// Arrival order, oldest at the front.
+    arrivals: VecDeque<SegmentId>,
+    /// Membership index.
+    present: BTreeSet<SegmentId>,
+}
+
+impl FifoBuffer {
+    /// Creates an empty buffer that can hold `capacity` segments.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        FifoBuffer {
+            capacity,
+            arrivals: VecDeque::with_capacity(capacity),
+            present: BTreeSet::new(),
+        }
+    }
+
+    /// Maximum number of segments the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of segments currently held.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the buffer holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// True when `segment` is currently held.
+    pub fn contains(&self, segment: SegmentId) -> bool {
+        self.present.contains(&segment)
+    }
+
+    /// Inserts a segment.  Returns the evicted segment if the buffer was full,
+    /// or `None`.  Re-inserting an already-held segment is a no-op.
+    pub fn insert(&mut self, segment: SegmentId) -> Option<SegmentId> {
+        if self.present.contains(&segment) {
+            return None;
+        }
+        let evicted = if self.arrivals.len() == self.capacity {
+            let old = self.arrivals.pop_front().expect("non-empty when full");
+            self.present.remove(&old);
+            Some(old)
+        } else {
+            None
+        };
+        self.arrivals.push_back(segment);
+        self.present.insert(segment);
+        evicted
+    }
+
+    /// Position of a segment measured from the tail (insertion end): the
+    /// newest segment has position 1, the oldest has position `len()`.
+    /// Returns `None` when the segment is not held.
+    ///
+    /// This is the `p_ij` of Table 2: `p_ij / B` approximates the probability
+    /// that the segment will soon be replaced in this buffer.
+    pub fn position_from_tail(&self, segment: SegmentId) -> Option<usize> {
+        if !self.present.contains(&segment) {
+            return None;
+        }
+        self.arrivals
+            .iter()
+            .rev()
+            .position(|&s| s == segment)
+            .map(|i| i + 1)
+    }
+
+    /// Positions of many segments at once (single scan of the buffer).
+    /// The result aligns with `segments`; `None` marks absent segments.
+    pub fn positions_of(&self, segments: &[SegmentId]) -> Vec<Option<usize>> {
+        let mut result = vec![None; segments.len()];
+        // Only scan for the segments that are actually present.
+        let wanted: Vec<(usize, SegmentId)> = segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| self.present.contains(s))
+            .map(|(i, &s)| (i, s))
+            .collect();
+        if wanted.is_empty() {
+            return result;
+        }
+        let lookup: std::collections::HashMap<SegmentId, usize> =
+            wanted.iter().map(|&(i, s)| (s, i)).collect();
+        for (pos_from_tail, &seg) in self.arrivals.iter().rev().enumerate() {
+            if let Some(&idx) = lookup.get(&seg) {
+                result[idx] = Some(pos_from_tail + 1);
+            }
+        }
+        result
+    }
+
+    /// Iterator over held segment ids in ascending id order.
+    pub fn ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.present.iter().copied()
+    }
+
+    /// Iterator over held segments in arrival order (oldest first).
+    pub fn arrivals(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.arrivals.iter().copied()
+    }
+
+    /// Number of held segments with ids in `[from, to]` (inclusive).
+    pub fn count_in_range(&self, from: SegmentId, to: SegmentId) -> usize {
+        if to < from {
+            return 0;
+        }
+        self.present.range(from..=to).count()
+    }
+
+    /// Ids in `[from, to]` (inclusive) that are **not** held.
+    pub fn missing_in_range(&self, from: SegmentId, to: SegmentId) -> Vec<SegmentId> {
+        if to < from {
+            return Vec::new();
+        }
+        let mut missing = Vec::new();
+        let mut held = self.present.range(from..=to).peekable();
+        for id in from.value()..=to.value() {
+            let id = SegmentId(id);
+            match held.peek() {
+                Some(&&h) if h == id => {
+                    held.next();
+                }
+                _ => missing.push(id),
+            }
+        }
+        missing
+    }
+
+    /// Length of the run of consecutively held segments starting at `from`.
+    pub fn contiguous_run_from(&self, from: SegmentId) -> usize {
+        let mut count = 0;
+        let mut id = from;
+        while self.present.contains(&id) {
+            count += 1;
+            id = id.next();
+        }
+        count
+    }
+
+    /// Greatest held id, if any.
+    pub fn max_id(&self) -> Option<SegmentId> {
+        self.present.iter().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<SegmentId> {
+        v.iter().map(|&i| SegmentId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_and_len() {
+        let mut b = FifoBuffer::new(3);
+        assert!(b.is_empty());
+        assert_eq!(b.insert(SegmentId(5)), None);
+        assert_eq!(b.insert(SegmentId(7)), None);
+        assert!(b.contains(SegmentId(5)));
+        assert!(!b.contains(SegmentId(6)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut b = FifoBuffer::new(3);
+        b.insert(SegmentId(1));
+        b.insert(SegmentId(2));
+        b.insert(SegmentId(3));
+        // Inserting a fourth evicts the oldest arrival (1).
+        assert_eq!(b.insert(SegmentId(4)), Some(SegmentId(1)));
+        assert!(!b.contains(SegmentId(1)));
+        assert_eq!(b.len(), 3);
+        // Out-of-order arrival: 0 arrives late, evicts 2 (the now-oldest).
+        assert_eq!(b.insert(SegmentId(0)), Some(SegmentId(2)));
+        assert!(b.contains(SegmentId(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut b = FifoBuffer::new(2);
+        b.insert(SegmentId(1));
+        assert_eq!(b.insert(SegmentId(1)), None);
+        assert_eq!(b.len(), 1);
+        b.insert(SegmentId(2));
+        // 1 is still oldest despite the duplicate insert attempt.
+        assert_eq!(b.insert(SegmentId(3)), Some(SegmentId(1)));
+    }
+
+    #[test]
+    fn positions_measure_distance_from_tail() {
+        let mut b = FifoBuffer::new(10);
+        for i in 0..5 {
+            b.insert(SegmentId(i));
+        }
+        // Newest (4) has position 1, oldest (0) has position 5.
+        assert_eq!(b.position_from_tail(SegmentId(4)), Some(1));
+        assert_eq!(b.position_from_tail(SegmentId(0)), Some(5));
+        assert_eq!(b.position_from_tail(SegmentId(9)), None);
+
+        let positions = b.positions_of(&ids(&[4, 0, 2, 99]));
+        assert_eq!(positions, vec![Some(1), Some(5), Some(3), None]);
+    }
+
+    #[test]
+    fn positions_of_empty_query() {
+        let b = FifoBuffer::new(4);
+        assert!(b.positions_of(&[]).is_empty());
+        assert_eq!(b.positions_of(&ids(&[1])), vec![None]);
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut b = FifoBuffer::new(10);
+        for i in [1u64, 2, 3, 6, 7] {
+            b.insert(SegmentId(i));
+        }
+        assert_eq!(b.count_in_range(SegmentId(1), SegmentId(7)), 5);
+        assert_eq!(b.count_in_range(SegmentId(4), SegmentId(5)), 0);
+        assert_eq!(b.count_in_range(SegmentId(7), SegmentId(1)), 0);
+        assert_eq!(b.missing_in_range(SegmentId(1), SegmentId(7)), ids(&[4, 5]));
+        assert_eq!(b.missing_in_range(SegmentId(8), SegmentId(7)), ids(&[]));
+        assert_eq!(b.contiguous_run_from(SegmentId(1)), 3);
+        assert_eq!(b.contiguous_run_from(SegmentId(6)), 2);
+        assert_eq!(b.contiguous_run_from(SegmentId(4)), 0);
+        assert_eq!(b.max_id(), Some(SegmentId(7)));
+        assert_eq!(FifoBuffer::new(3).max_id(), None);
+    }
+
+    #[test]
+    fn id_and_arrival_iterators() {
+        let mut b = FifoBuffer::new(5);
+        for i in [9u64, 3, 7] {
+            b.insert(SegmentId(i));
+        }
+        assert_eq!(b.ids().collect::<Vec<_>>(), ids(&[3, 7, 9]));
+        assert_eq!(b.arrivals().collect::<Vec<_>>(), ids(&[9, 3, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FifoBuffer::new(0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// The buffer never exceeds its capacity, membership matches the FIFO
+        /// content, and positions are a permutation of 1..=len.
+        #[test]
+        fn prop_fifo_invariants(
+            cap in 1usize..40,
+            inserts in proptest::collection::vec(0u64..200, 0..300),
+        ) {
+            let mut b = FifoBuffer::new(cap);
+            for i in inserts {
+                b.insert(SegmentId(i));
+            }
+            proptest::prop_assert!(b.len() <= cap);
+            proptest::prop_assert_eq!(b.len(), b.arrivals().count());
+            proptest::prop_assert_eq!(b.len(), b.ids().count());
+            for s in b.arrivals() {
+                proptest::prop_assert!(b.contains(s));
+            }
+            let mut positions: Vec<usize> = b
+                .arrivals()
+                .map(|s| b.position_from_tail(s).unwrap())
+                .collect();
+            positions.sort_unstable();
+            let expected: Vec<usize> = (1..=b.len()).collect();
+            proptest::prop_assert_eq!(positions, expected);
+        }
+    }
+}

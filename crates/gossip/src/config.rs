@@ -1,0 +1,164 @@
+//! Protocol configuration.
+//!
+//! Defaults follow §5.1 of the paper exactly:
+//!
+//! * streaming rate 300 Kbps, segment size 30 Kb ⇒ playback rate `p = 10`
+//!   segments/s,
+//! * buffer of `B = 600` segments,
+//! * scheduling period `τ = 1.0` s,
+//! * startup threshold `Q = 10` consecutive segments,
+//! * new-source startup threshold `Qs = 50` segments,
+//! * buffer map of 620 bits (600-bit availability + 20-bit head id).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when validating a [`GossipConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Description of the inconsistency.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid gossip configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Protocol parameters of the streaming system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Data scheduling period `τ` in seconds.
+    pub tau_secs: f64,
+    /// Playback rate `p` in segments per second.
+    pub play_rate: f64,
+    /// Buffer capacity `B` in segments.
+    pub buffer_capacity: usize,
+    /// Number of consecutive segments required to start playback of a stream
+    /// (`Q`).
+    pub startup_q: usize,
+    /// Number of segments of a *new* source required before its playback may
+    /// start (`Qs`).
+    pub new_source_qs: usize,
+    /// Payload size of one segment in bits (30 Kb = 30 × 1024 bits).
+    pub segment_bits: u64,
+    /// Size of one buffer-map exchange in bits (600-bit map + 20-bit head id).
+    pub buffermap_bits: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            tau_secs: 1.0,
+            play_rate: 10.0,
+            buffer_capacity: 600,
+            startup_q: 10,
+            new_source_qs: 50,
+            segment_bits: 30 * 1024,
+            buffermap_bits: 620,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// The configuration used throughout the paper's evaluation.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Segments a rate of `rate` segments/s can move within one period.
+    pub fn segments_per_period(&self, rate: f64) -> f64 {
+        rate * self.tau_secs
+    }
+
+    /// Number of segments played per period.
+    pub fn play_per_period(&self) -> f64 {
+        self.play_rate * self.tau_secs
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |message: String| Err(ConfigError { message });
+        if !(self.tau_secs > 0.0) || !self.tau_secs.is_finite() {
+            return err(format!("tau_secs {} must be positive", self.tau_secs));
+        }
+        if !(self.play_rate > 0.0) || !self.play_rate.is_finite() {
+            return err(format!("play_rate {} must be positive", self.play_rate));
+        }
+        if self.buffer_capacity == 0 {
+            return err("buffer_capacity must be positive".into());
+        }
+        if self.startup_q == 0 {
+            return err("startup_q must be positive".into());
+        }
+        if self.new_source_qs == 0 {
+            return err("new_source_qs must be positive".into());
+        }
+        if self.new_source_qs > self.buffer_capacity {
+            return err(format!(
+                "new_source_qs {} cannot exceed buffer_capacity {}",
+                self.new_source_qs, self.buffer_capacity
+            ));
+        }
+        if self.segment_bits == 0 || self.buffermap_bits == 0 {
+            return err("segment_bits and buffermap_bits must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_5_1() {
+        let c = GossipConfig::paper_default();
+        assert_eq!(c.tau_secs, 1.0);
+        assert_eq!(c.play_rate, 10.0);
+        assert_eq!(c.buffer_capacity, 600);
+        assert_eq!(c.startup_q, 10);
+        assert_eq!(c.new_source_qs, 50);
+        assert_eq!(c.segment_bits, 30 * 1024);
+        assert_eq!(c.buffermap_bits, 620);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn per_period_helpers() {
+        let c = GossipConfig::paper_default();
+        assert_eq!(c.segments_per_period(15.0), 15.0);
+        assert_eq!(c.play_per_period(), 10.0);
+        let mut c2 = c;
+        c2.tau_secs = 0.5;
+        assert_eq!(c2.segments_per_period(15.0), 7.5);
+        assert_eq!(c2.play_per_period(), 5.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let bad = |f: fn(&mut GossipConfig)| {
+            let mut c = GossipConfig::default();
+            f(&mut c);
+            c.validate().unwrap_err()
+        };
+        assert!(bad(|c| c.tau_secs = 0.0).message.contains("tau"));
+        assert!(bad(|c| c.play_rate = -1.0).message.contains("play_rate"));
+        assert!(bad(|c| c.buffer_capacity = 0).message.contains("buffer"));
+        assert!(bad(|c| c.startup_q = 0).message.contains("startup_q"));
+        assert!(bad(|c| c.new_source_qs = 0).message.contains("new_source_qs"));
+        assert!(bad(|c| c.new_source_qs = 601).message.contains("exceed"));
+        assert!(bad(|c| c.segment_bits = 0).message.contains("bits"));
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError {
+            message: "broken".into(),
+        };
+        assert!(e.to_string().contains("broken"));
+    }
+}

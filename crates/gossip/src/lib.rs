@@ -1,0 +1,59 @@
+//! Pull-based gossip streaming substrate.
+//!
+//! This crate implements the streaming system the ICPP 2008 paper simulates
+//! on: a CoolStreaming-style, pull-based ("smart gossip") P2P streaming
+//! overlay in which every node periodically exchanges data-availability
+//! information (buffer maps) with its neighbours and then retrieves the data
+//! segments it needs from a subset of them.
+//!
+//! The crate provides every protocol ingredient *except* the scheduling
+//! policy, which is pluggable through the [`scheduler::SegmentScheduler`]
+//! trait — the paper's Fast Switch Algorithm and the Normal Switch baseline
+//! live in `fss-core` and implement that trait.
+//!
+//! Module map:
+//!
+//! * [`config`] — protocol constants (`τ`, `p`, `B`, `Q`, `Qs`, segment and
+//!   buffer-map sizes), defaulting to the paper's §5.1 values,
+//! * [`segment`] — global segment identifiers, sources and serial sessions,
+//! * [`buffer`] — the per-node FIFO segment buffer (`B = 600` segments),
+//! * [`buffermap`] — the 620-bit data-availability map exchanged per period,
+//! * [`playback`] — the per-node playback state machine (startup after `Q`
+//!   consecutive segments, new-source startup after `Qs` segments *and* the
+//!   old stream finishing),
+//! * [`scheduler`] — the scheduling context handed to switch algorithms and
+//!   the request type they return,
+//! * [`transfer`] — bandwidth-constrained request resolution (per-supplier
+//!   outbound and per-requester inbound budgets),
+//! * [`membership`] — neighbour-set repair under churn,
+//! * [`peer`] — per-node protocol state and context construction,
+//! * [`stats`] — traffic counters, switch records and ratio samples, and
+//! * [`system`] — the complete period-synchronous streaming system.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod buffermap;
+pub mod config;
+pub mod membership;
+pub mod peer;
+pub mod playback;
+pub mod scheduler;
+pub mod segment;
+pub mod stats;
+pub mod system;
+pub mod transfer;
+
+pub use buffer::FifoBuffer;
+pub use buffermap::BufferMap;
+pub use config::GossipConfig;
+pub use peer::{NeighborInfo, PeerNode};
+pub use playback::{PlaybackPhase, PlaybackState};
+pub use scheduler::{
+    CandidateSegment, SchedulingContext, SegmentRequest, SegmentScheduler, SessionView,
+    StreamClass, SupplierInfo,
+};
+pub use segment::{SegmentId, Session, SessionDirectory, SourceId};
+pub use stats::{RatioSample, SwitchRecord, TrafficCounters};
+pub use system::{StreamingSystem, SystemReport};
+pub use transfer::{CapacityModel, DeliveredSegment, RequestBatch, TransferResolver};

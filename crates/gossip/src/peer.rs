@@ -1,0 +1,501 @@
+//! Per-node protocol state.
+//!
+//! A [`PeerNode`] owns a node's buffer and playback state, tracks which
+//! serial sessions the node has *discovered* (§3: "a node does not know the
+//! source switch process until it discovers data segments of a new source in
+//! its neighbors"), and builds the [`SchedulingContext`] handed to the switch
+//! algorithm each period.
+
+use crate::buffer::FifoBuffer;
+use crate::config::GossipConfig;
+use crate::playback::PlaybackState;
+use crate::scheduler::{CandidateSegment, SchedulingContext, SessionView, SupplierInfo};
+use crate::segment::{SegmentId, Session, SessionDirectory};
+use fss_overlay::PeerId;
+
+/// A neighbour as seen while building the scheduling context.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborInfo<'a> {
+    /// The neighbour's peer id.
+    pub peer: PeerId,
+    /// The neighbour's advertised outbound rate `R(j)` in segments/second.
+    pub outbound_rate: f64,
+    /// The neighbour's buffer (stands in for its 620-bit buffer map plus the
+    /// FIFO positions the map implies).
+    pub buffer: &'a FifoBuffer,
+}
+
+/// Protocol state of one overlay node.
+#[derive(Debug, Clone)]
+pub struct PeerNode {
+    id: PeerId,
+    buffer: FifoBuffer,
+    playback: PlaybackState,
+    /// How many sessions (prefix of the directory) this node has discovered.
+    known_sessions: usize,
+    /// Fractional playback credit carried across periods.
+    play_credit: f64,
+}
+
+impl PeerNode {
+    /// Creates a node that will join the stream at `join_point`.
+    pub fn new(id: PeerId, config: &GossipConfig, join_point: SegmentId) -> Self {
+        PeerNode {
+            id,
+            buffer: FifoBuffer::new(config.buffer_capacity),
+            playback: PlaybackState::new(join_point),
+            known_sessions: 0,
+            play_credit: 0.0,
+        }
+    }
+
+    /// The node's peer id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The node's segment buffer.
+    pub fn buffer(&self) -> &FifoBuffer {
+        &self.buffer
+    }
+
+    /// Mutable access to the buffer (segment deliveries, source emission).
+    pub fn buffer_mut(&mut self) -> &mut FifoBuffer {
+        &mut self.buffer
+    }
+
+    /// The node's playback state.
+    pub fn playback(&self) -> &PlaybackState {
+        &self.playback
+    }
+
+    /// Number of sessions this node has discovered.
+    pub fn known_sessions(&self) -> usize {
+        self.known_sessions
+    }
+
+    /// The id the node will play next (`id_play`).
+    pub fn id_play(&self) -> SegmentId {
+        self.playback.next_play()
+    }
+
+    /// Moves the join point before playback starts (churn joiners follow
+    /// their neighbours' current playback position).
+    pub fn rejoin_at(&mut self, join_point: SegmentId) {
+        self.playback.rejoin_at(join_point);
+    }
+
+    /// Discovers sessions: the node learns every session whose first segment
+    /// is at or below `observed_max`, in serial order.  Sources call this with
+    /// their own session's first segment when they start emitting.
+    pub fn discover_sessions(&mut self, directory: &SessionDirectory, observed_max: SegmentId) {
+        let sessions = directory.sessions();
+        while self.known_sessions < sessions.len()
+            && sessions[self.known_sessions].first_segment <= observed_max
+        {
+            self.known_sessions += 1;
+        }
+    }
+
+    /// The sessions this node currently knows about.
+    pub fn known<'d>(&self, directory: &'d SessionDirectory) -> &'d [Session] {
+        &directory.sessions()[..self.known_sessions.min(directory.len())]
+    }
+
+    /// Undelivered segments of `session` that the node still needs, i.e. ids
+    /// in `[max(id_play, first), end]` missing from its buffer.  `end` falls
+    /// back to `fallback_end` for a live session.
+    pub fn undelivered_in_session(
+        &self,
+        session: &Session,
+        fallback_end: SegmentId,
+    ) -> usize {
+        let end = session.last_segment.unwrap_or(fallback_end);
+        let start = self.id_play().max(session.first_segment);
+        if end < start {
+            return 0;
+        }
+        let span = (end.value() - start.value() + 1) as usize;
+        span - self.buffer.count_in_range(start, end)
+    }
+
+    /// `Q2` for a new session: how many of its first `Qs` segments are still
+    /// missing.
+    pub fn q2_for(&self, session: &Session, qs: usize) -> usize {
+        let first = session.first_segment;
+        let last = first.offset(qs as u64 - 1);
+        qs - self.buffer.count_in_range(first, last)
+    }
+
+    /// True when the node holds all of the first `Qs` segments of `session`.
+    pub fn prepared_for(&self, session: &Session, qs: usize) -> bool {
+        self.q2_for(session, qs) == 0
+    }
+
+    /// Builds this period's scheduling context, or `None` when the node has
+    /// nothing it could request (no candidates with suppliers).
+    pub fn build_context(
+        &self,
+        config: &GossipConfig,
+        directory: &SessionDirectory,
+        inbound_rate: f64,
+        neighbors: &[NeighborInfo<'_>],
+    ) -> Option<SchedulingContext> {
+        if neighbors.is_empty() || inbound_rate <= 0.0 {
+            return None;
+        }
+        let known = self.known(directory);
+        if known.is_empty() {
+            return None;
+        }
+
+        // The "old" stream is the one the node is currently playing; the
+        // "new" stream is the next discovered session it has not reached yet.
+        let id_play = self.id_play();
+        let current_idx = known
+            .iter()
+            .rposition(|s| s.first_segment <= id_play)
+            .unwrap_or(0);
+        let current = &known[current_idx];
+        let next = known.get(current_idx + 1);
+
+        let max_advertised = neighbors
+            .iter()
+            .filter_map(|n| n.buffer.max_id())
+            .max()
+            .unwrap_or(SegmentId(0));
+
+        // Needed ids of the current stream.
+        let current_end = current
+            .last_segment
+            .unwrap_or(max_advertised)
+            .min(max_advertised);
+        let window_cap = 2 * config.buffer_capacity as u64;
+        let current_start = self
+            .id_play()
+            .max(current.first_segment)
+            .max(SegmentId(current_end.value().saturating_sub(window_cap)));
+        let mut needed: Vec<SegmentId> = if current_end >= current_start {
+            self.buffer.missing_in_range(current_start, current_end)
+        } else {
+            Vec::new()
+        };
+
+        // Needed ids of the next (new-source) stream, if discovered.
+        if let Some(next) = next {
+            let next_end = next
+                .last_segment
+                .unwrap_or(max_advertised)
+                .min(max_advertised);
+            if next_end >= next.first_segment {
+                needed.extend(self.buffer.missing_in_range(next.first_segment, next_end));
+            }
+        }
+        if needed.is_empty() {
+            return None;
+        }
+
+        // Gather suppliers: one scan of each neighbour's buffer.
+        let mut candidates: Vec<CandidateSegment> = needed
+            .iter()
+            .map(|&id| CandidateSegment {
+                id,
+                suppliers: Vec::new(),
+            })
+            .collect();
+        for n in neighbors {
+            let positions = n.buffer.positions_of(&needed);
+            for (candidate, position) in candidates.iter_mut().zip(positions) {
+                if let Some(position) = position {
+                    candidate.suppliers.push(SupplierInfo {
+                        peer: n.peer,
+                        rate: n.outbound_rate,
+                        buffer_position: position,
+                        buffer_capacity: n.buffer.capacity(),
+                    });
+                }
+            }
+        }
+        candidates.retain(|c| !c.suppliers.is_empty());
+        if candidates.is_empty() {
+            return None;
+        }
+
+        let (old_session, new_session, q1, q2) = match next {
+            Some(next) => (
+                Some(session_view(current)),
+                Some(session_view(next)),
+                self.undelivered_in_session(current, max_advertised),
+                self.q2_for(next, config.new_source_qs),
+            ),
+            None => (
+                Some(session_view(current)),
+                None,
+                self.undelivered_in_session(current, max_advertised),
+                0,
+            ),
+        };
+
+        Some(SchedulingContext {
+            tau_secs: config.tau_secs,
+            play_rate: config.play_rate,
+            inbound_rate,
+            id_play,
+            startup_q: config.startup_q,
+            new_source_qs: config.new_source_qs,
+            old_session,
+            new_session,
+            q1,
+            q2,
+            candidates,
+        })
+    }
+
+    /// Advances playback by one period.
+    ///
+    /// Playback starts after `Q` consecutive segments from the join point;
+    /// a next session is gated until all of its first `Qs` segments are
+    /// present (and, implicitly, until the previous stream has been fully
+    /// played — playback is sequential).  Returns the number of segments
+    /// played.
+    pub fn advance_playback(&mut self, config: &GossipConfig, directory: &SessionDirectory) -> u64 {
+        self.playback.try_start(&self.buffer, config.startup_q);
+        if !self.playback.has_started() {
+            return 0;
+        }
+        self.play_credit += config.play_per_period();
+        let budget = self.play_credit.floor() as u64;
+        if budget == 0 {
+            return 0;
+        }
+        self.play_credit -= budget as f64;
+
+        // Gate: the first discovered *new* session (one that started after the
+        // node joined) that the node has not yet begun playing and whose first
+        // `Qs` segments are not all present caps playback at its first
+        // segment.  The session the node joined on is instead governed by the
+        // Q-consecutive startup rule above.
+        let limit = self
+            .known(directory)
+            .iter()
+            .filter(|s| {
+                s.first_segment > self.playback.join_point()
+                    && s.first_segment >= self.playback.next_play()
+            })
+            .find(|s| !self.prepared_for(s, config.new_source_qs))
+            .map(|s| s.first_segment);
+
+        self.playback.advance(&self.buffer, budget, limit)
+    }
+}
+
+fn session_view(session: &Session) -> SessionView {
+    SessionView {
+        id: session.id,
+        first_segment: session.first_segment,
+        last_segment: session.last_segment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> GossipConfig {
+        GossipConfig {
+            new_source_qs: 5,
+            startup_q: 3,
+            ..GossipConfig::paper_default()
+        }
+    }
+
+    /// Directory with S1 = [0, 99] (closed) and S2 = [100, ...) live.
+    fn switched_directory() -> SessionDirectory {
+        let mut dir = SessionDirectory::new();
+        dir.start_session(0, 0.0, None);
+        dir.start_session(1, 50.0, Some(SegmentId(99)));
+        dir
+    }
+
+    fn neighbor_buffer(ids: &[u64]) -> FifoBuffer {
+        let mut b = FifoBuffer::new(600);
+        for &i in ids {
+            b.insert(SegmentId(i));
+        }
+        b
+    }
+
+    #[test]
+    fn discovery_follows_observed_ids() {
+        let dir = switched_directory();
+        let cfg = config();
+        let mut node = PeerNode::new(5, &cfg, SegmentId(0));
+        assert_eq!(node.known_sessions(), 0);
+
+        node.discover_sessions(&dir, SegmentId(10));
+        assert_eq!(node.known_sessions(), 1);
+        assert_eq!(node.known(&dir).len(), 1);
+
+        // Seeing a segment of S2 reveals the switch (and hence S1's end).
+        node.discover_sessions(&dir, SegmentId(100));
+        assert_eq!(node.known_sessions(), 2);
+    }
+
+    #[test]
+    fn undelivered_and_q2_counts() {
+        let dir = switched_directory();
+        let cfg = config();
+        let mut node = PeerNode::new(1, &cfg, SegmentId(0));
+        node.discover_sessions(&dir, SegmentId(100));
+        for i in 0..95u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        node.buffer_mut().insert(SegmentId(101));
+
+        let s1 = &dir.sessions()[0];
+        let s2 = &dir.sessions()[1];
+        // Missing 95..=99 of S1.
+        assert_eq!(node.undelivered_in_session(s1, SegmentId(99)), 5);
+        // Of the first 5 segments of S2 (100..=104) only 101 is held.
+        assert_eq!(node.q2_for(s2, 5), 4);
+        assert!(!node.prepared_for(s2, 5));
+        for i in 100..105u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        assert!(node.prepared_for(s2, 5));
+        assert_eq!(node.q2_for(s2, 5), 0);
+    }
+
+    #[test]
+    fn context_classifies_old_and_new_candidates() {
+        let dir = switched_directory();
+        let cfg = config();
+        let mut node = PeerNode::new(1, &cfg, SegmentId(0));
+        for i in 0..90u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        node.discover_sessions(&dir, SegmentId(105));
+
+        let nb1 = neighbor_buffer(&(80..100).collect::<Vec<_>>());
+        let nb2 = neighbor_buffer(&(95..106).collect::<Vec<_>>());
+        let neighbors = [
+            NeighborInfo {
+                peer: 2,
+                outbound_rate: 12.0,
+                buffer: &nb1,
+            },
+            NeighborInfo {
+                peer: 3,
+                outbound_rate: 20.0,
+                buffer: &nb2,
+            },
+        ];
+
+        let ctx = node
+            .build_context(&cfg, &dir, 15.0, &neighbors)
+            .expect("has candidates");
+        assert!(ctx.switch_in_progress());
+        assert_eq!(ctx.q1, 10, "missing 90..=99 of S1");
+        assert_eq!(ctx.q2, 5, "none of 100..=104 held");
+        assert_eq!(ctx.inbound_budget(), 15);
+
+        // Candidates 90..=99 (old) and 100..=105 (new), all with suppliers.
+        assert_eq!(ctx.candidates.len(), 16);
+        let old_count = ctx
+            .candidates
+            .iter()
+            .filter(|c| ctx.class_of(c.id) == crate::scheduler::StreamClass::Old)
+            .count();
+        assert_eq!(old_count, 10);
+        // Segment 97 is held by both neighbours.
+        let c97 = ctx
+            .candidates
+            .iter()
+            .find(|c| c.id == SegmentId(97))
+            .unwrap();
+        assert_eq!(c97.supplier_count(), 2);
+        assert_eq!(c97.max_rate(), 20.0);
+    }
+
+    #[test]
+    fn context_is_none_without_needs_or_neighbors() {
+        let dir = switched_directory();
+        let cfg = config();
+        let mut node = PeerNode::new(1, &cfg, SegmentId(0));
+        node.discover_sessions(&dir, SegmentId(0));
+
+        // No neighbours.
+        assert!(node.build_context(&cfg, &dir, 15.0, &[]).is_none());
+
+        // Zero inbound (a source).
+        let nb = neighbor_buffer(&[0, 1, 2]);
+        let neighbors = [NeighborInfo {
+            peer: 2,
+            outbound_rate: 10.0,
+            buffer: &nb,
+        }];
+        assert!(node.build_context(&cfg, &dir, 0.0, &neighbors).is_none());
+
+        // Node already has everything its neighbours advertise.
+        for i in 0..3u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        assert!(node.build_context(&cfg, &dir, 15.0, &neighbors).is_none());
+    }
+
+    #[test]
+    fn playback_gates_new_session_until_prepared() {
+        let dir = switched_directory();
+        let cfg = config();
+        let mut node = PeerNode::new(1, &cfg, SegmentId(90));
+        node.discover_sessions(&dir, SegmentId(100));
+        for i in 90..=100u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+
+        // First period: plays 90..=99 (10 segments) and stops at the gate.
+        let played = node.advance_playback(&cfg, &dir);
+        assert_eq!(played, 10);
+        assert_eq!(node.id_play(), SegmentId(100));
+
+        // Still gated: only one segment (100) of the required five held.
+        let played = node.advance_playback(&cfg, &dir);
+        assert_eq!(played, 0);
+
+        for i in 101..=104u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        let played = node.advance_playback(&cfg, &dir);
+        assert_eq!(played, 5, "gate lifted once the first Qs are present");
+        assert_eq!(node.id_play(), SegmentId(105));
+    }
+
+    #[test]
+    fn playback_does_not_start_without_q_consecutive() {
+        let dir = switched_directory();
+        let cfg = config();
+        let mut node = PeerNode::new(1, &cfg, SegmentId(0));
+        node.discover_sessions(&dir, SegmentId(5));
+        node.buffer_mut().insert(SegmentId(0));
+        node.buffer_mut().insert(SegmentId(2));
+        assert_eq!(node.advance_playback(&cfg, &dir), 0);
+        node.buffer_mut().insert(SegmentId(1));
+        assert!(node.advance_playback(&cfg, &dir) > 0);
+    }
+
+    #[test]
+    fn fractional_play_rate_accumulates_credit() {
+        let dir = switched_directory();
+        let mut cfg = config();
+        cfg.play_rate = 0.5; // one segment every two periods
+        let mut node = PeerNode::new(1, &cfg, SegmentId(0));
+        node.discover_sessions(&dir, SegmentId(10));
+        for i in 0..10u64 {
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        assert_eq!(node.advance_playback(&cfg, &dir), 0);
+        assert_eq!(node.advance_playback(&cfg, &dir), 1);
+        assert_eq!(node.advance_playback(&cfg, &dir), 0);
+        assert_eq!(node.advance_playback(&cfg, &dir), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Raw observations recorded while the system runs.
+//!
+//! This module only *records*; aggregation into the paper's metrics (average
+//! switch time, reduction ratio, communication overhead, ratio tracks) lives
+//! in `fss-metrics` and the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Running totals of control and data traffic, in bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficCounters {
+    /// Bits spent exchanging buffer maps (control traffic).
+    pub control_bits: u64,
+    /// Bits spent transferring data segments.
+    pub data_bits: u64,
+}
+
+impl TrafficCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds control (buffer-map) traffic.
+    pub fn add_control(&mut self, bits: u64) {
+        self.control_bits += bits;
+    }
+
+    /// Adds data (segment) traffic.
+    pub fn add_data(&mut self, bits: u64) {
+        self.data_bits += bits;
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: &TrafficCounters) {
+        self.control_bits += other.control_bits;
+        self.data_bits += other.data_bits;
+    }
+
+    /// The communication overhead: control bits over data bits
+    /// (§5.2 metric 3).  Returns 0 when no data has been transferred.
+    pub fn overhead(&self) -> f64 {
+        if self.data_bits == 0 {
+            0.0
+        } else {
+            self.control_bits as f64 / self.data_bits as f64
+        }
+    }
+}
+
+/// Per-node record of the source-switch milestones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwitchRecord {
+    /// Whether the node was part of the overlay when the switch happened
+    /// (nodes joining later are excluded from switch metrics).
+    pub present_at_switch: bool,
+    /// Whether the node left before completing the switch.
+    pub departed: bool,
+    /// `Q0`: undelivered segments of the old source at switch time.
+    pub q0: usize,
+    /// Seconds (since the switch) at which the node finished the playback of
+    /// the old source.
+    pub s1_finished_secs: Option<f64>,
+    /// Seconds at which the node had gathered the first `Qs` segments of the
+    /// new source (the paper's *preparing time* = switch time).
+    pub s2_prepared_secs: Option<f64>,
+    /// Seconds at which the node actually started playing the new source
+    /// (both conditions satisfied).
+    pub s2_started_secs: Option<f64>,
+}
+
+impl SwitchRecord {
+    /// True when the node both finished the old stream and prepared the new
+    /// one.
+    pub fn completed(&self) -> bool {
+        self.s1_finished_secs.is_some() && self.s2_prepared_secs.is_some()
+    }
+
+    /// True when this node should be counted in switch-time averages.
+    pub fn countable(&self) -> bool {
+        self.present_at_switch && !self.departed
+    }
+}
+
+/// One per-period sample of the two ratio tracks of Figures 5 and 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioSample {
+    /// Seconds since the switch.
+    pub secs: f64,
+    /// Mean over nodes of `Q1 / Q0` (undelivered ratio of the old source).
+    pub undelivered_ratio_s1: f64,
+    /// Mean over nodes of `(Qs − Q2) / Qs` (delivered ratio of the new
+    /// source).
+    pub delivered_ratio_s2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_overhead_is_control_over_data() {
+        let mut t = TrafficCounters::new();
+        assert_eq!(t.overhead(), 0.0);
+        t.add_control(620);
+        t.add_data(30 * 1024);
+        assert!((t.overhead() - 620.0 / 30720.0).abs() < 1e-12);
+        t.add_data(30 * 1024);
+        assert!((t.overhead() - 620.0 / 61440.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_merge_accumulates() {
+        let mut a = TrafficCounters::new();
+        a.add_control(10);
+        a.add_data(100);
+        let mut b = TrafficCounters::new();
+        b.add_control(5);
+        b.add_data(50);
+        a.merge(&b);
+        assert_eq!(a.control_bits, 15);
+        assert_eq!(a.data_bits, 150);
+    }
+
+    #[test]
+    fn switch_record_completion_and_countability() {
+        let mut r = SwitchRecord {
+            present_at_switch: true,
+            ..Default::default()
+        };
+        assert!(!r.completed());
+        assert!(r.countable());
+        r.s1_finished_secs = Some(12.0);
+        assert!(!r.completed());
+        r.s2_prepared_secs = Some(18.0);
+        assert!(r.completed());
+        r.departed = true;
+        assert!(!r.countable());
+
+        let absent = SwitchRecord::default();
+        assert!(!absent.countable());
+    }
+
+    #[test]
+    fn ratio_sample_is_plain_data() {
+        let s = RatioSample {
+            secs: 3.0,
+            undelivered_ratio_s1: 0.4,
+            delivered_ratio_s2: 0.2,
+        };
+        assert_eq!(s.secs, 3.0);
+        assert_eq!(s.undelivered_ratio_s1, 0.4);
+        assert_eq!(s.delivered_ratio_s2, 0.2);
+    }
+}

@@ -1,0 +1,747 @@
+//! The complete period-synchronous streaming system.
+//!
+//! [`StreamingSystem`] wires the overlay, the per-node protocol state, the
+//! pluggable scheduler and the transfer model into the simulation loop the
+//! paper's evaluation runs:
+//!
+//! 1. (dynamic scenarios) apply churn and repair neighbour sets,
+//! 2. the live source emits `p·τ` new segments,
+//! 3. every node exchanges buffer maps with its neighbours (control traffic),
+//!    discovers new sessions, builds its scheduling context and asks its
+//!    scheduler which segments to request,
+//! 4. requests are resolved against inbound/outbound budgets and the granted
+//!    segments are delivered (data traffic),
+//! 5. every node advances playback; switch milestones and the per-period
+//!    ratio tracks are recorded.
+
+use crate::config::GossipConfig;
+use crate::membership::MembershipMaintainer;
+use crate::peer::{NeighborInfo, PeerNode};
+use crate::scheduler::SegmentScheduler;
+use crate::segment::{SegmentId, SessionDirectory, SourceId};
+use crate::stats::{RatioSample, SwitchRecord, TrafficCounters};
+use crate::transfer::{RequestBatch, TransferResolver};
+use fss_overlay::{ChurnModel, Overlay, PeerId};
+use std::collections::HashMap;
+
+/// Snapshot of everything an experiment needs after (or while) running the
+/// system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Name of the scheduling policy that produced this run.
+    pub scheduler: &'static str,
+    /// Per-peer switch records (indexed by [`PeerId`]).
+    pub switch_records: Vec<SwitchRecord>,
+    /// Per-period ratio samples recorded since the switch.
+    pub ratio_samples: Vec<RatioSample>,
+    /// Traffic accumulated over the whole run.
+    pub traffic_total: TrafficCounters,
+    /// Traffic accumulated between the switch and its completion.
+    pub traffic_switch_window: TrafficCounters,
+    /// Number of scheduling periods executed.
+    pub periods: u64,
+    /// Seconds (since the switch) at which the last countable node completed
+    /// the switch, if every countable node did.
+    pub switch_completed_secs: Option<f64>,
+}
+
+/// The period-synchronous gossip streaming simulator.
+pub struct StreamingSystem {
+    config: GossipConfig,
+    overlay: Overlay,
+    peers: Vec<PeerNode>,
+    directory: SessionDirectory,
+    scheduler: Box<dyn SegmentScheduler>,
+    resolver: TransferResolver,
+    churn: Option<ChurnModel>,
+    membership: MembershipMaintainer,
+
+    sources: Vec<PeerId>,
+    /// Next segment id the live source will emit.
+    next_emit: SegmentId,
+    emit_credit: f64,
+
+    period_index: u64,
+    traffic_total: TrafficCounters,
+    traffic_switch_window: TrafficCounters,
+
+    /// Set when the source switch is triggered.
+    switch_secs: Option<f64>,
+    /// The session pair involved in the switch (old, new).
+    switch_sessions: Option<(SourceId, SourceId)>,
+    switch_records: Vec<SwitchRecord>,
+    ratio_samples: Vec<RatioSample>,
+    switch_completed_secs: Option<f64>,
+}
+
+impl StreamingSystem {
+    /// Creates a system over `overlay` with the given scheduling policy.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        overlay: Overlay,
+        config: GossipConfig,
+        scheduler: Box<dyn SegmentScheduler>,
+    ) -> Self {
+        config.validate().expect("valid gossip configuration");
+        let capacity = overlay.graph().capacity();
+        let peers: Vec<PeerNode> = (0..capacity as PeerId)
+            .map(|id| PeerNode::new(id, &config, SegmentId(0)))
+            .collect();
+        let min_degree = overlay.config().min_degree;
+        let membership_seed = overlay.config().seed ^ 0x4d45_4d42;
+        StreamingSystem {
+            config,
+            overlay,
+            peers,
+            directory: SessionDirectory::new(),
+            scheduler,
+            resolver: TransferResolver::new(),
+            churn: None,
+            membership: MembershipMaintainer::new(min_degree, membership_seed),
+            sources: Vec::new(),
+            next_emit: SegmentId(0),
+            emit_credit: 0.0,
+            period_index: 0,
+            traffic_total: TrafficCounters::new(),
+            traffic_switch_window: TrafficCounters::new(),
+            switch_secs: None,
+            switch_sessions: None,
+            switch_records: vec![SwitchRecord::default(); capacity],
+            ratio_samples: Vec::new(),
+            switch_completed_secs: None,
+        }
+    }
+
+    /// Enables per-period churn (the paper's dynamic environments).
+    pub fn set_churn(&mut self, churn: ChurnModel) {
+        self.churn = Some(churn);
+    }
+
+    /// Selects how supplier outbound capacity is enforced (per-link by
+    /// default; shared for the bandwidth-starved ablation).
+    pub fn set_capacity_model(&mut self, model: crate::transfer::CapacityModel) {
+        self.resolver = TransferResolver::with_model(model);
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.config
+    }
+
+    /// The overlay being streamed over.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The session directory.
+    pub fn directory(&self) -> &SessionDirectory {
+        &self.directory
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.period_index as f64 * self.config.tau_secs
+    }
+
+    /// Seconds elapsed since the source switch (0 before the switch).
+    pub fn secs_since_switch(&self) -> f64 {
+        match self.switch_secs {
+            Some(t) => self.now_secs() - t,
+            None => 0.0,
+        }
+    }
+
+    /// Number of scheduling periods executed so far.
+    pub fn periods(&self) -> u64 {
+        self.period_index
+    }
+
+    /// Read access to one peer (panics on unknown ids).
+    pub fn peer(&self, id: PeerId) -> &PeerNode {
+        &self.peers[id as usize]
+    }
+
+    /// Starts the first source.  Must be called exactly once before running.
+    pub fn start_initial_source(&mut self, source: PeerId) -> SourceId {
+        assert!(
+            self.directory.is_empty(),
+            "initial source already started; use switch_source for later sources"
+        );
+        assert!(self.overlay.graph().is_active(source), "source must be active");
+        let id = self.directory.start_session(source, self.now_secs(), None);
+        let bw = self.overlay.config().bandwidth.source_peer();
+        self.overlay
+            .set_bandwidth(source, bw)
+            .expect("source exists");
+        self.sources.push(source);
+        self.next_emit = SegmentId(0);
+        self.peers[source as usize].discover_sessions(&self.directory, SegmentId(0));
+        id
+    }
+
+    /// Stops the live source and hands the stream over to `new_source`
+    /// (the paper's source switch, time "0" of the evaluation).
+    ///
+    /// Returns the new session id.
+    pub fn switch_source(&mut self, new_source: PeerId) -> SourceId {
+        let live = self
+            .directory
+            .live()
+            .expect("a live session is required to switch from");
+        let old_id = live.id;
+        let old_source = live.source_peer;
+        assert!(
+            self.overlay.graph().is_active(new_source),
+            "new source must be active"
+        );
+        assert_ne!(new_source, old_source, "new source must differ from the old one");
+
+        let last_emitted = SegmentId(self.next_emit.value().saturating_sub(1));
+        let new_id =
+            self.directory
+                .start_session(new_source, self.now_secs(), Some(last_emitted));
+
+        // Bandwidth roles: the new source stops downloading and gets the
+        // large source outbound; the old source goes back to being a regular
+        // peer so it can fetch the new stream.
+        let src_bw = self.overlay.config().bandwidth.source_peer();
+        self.overlay
+            .set_bandwidth(new_source, src_bw)
+            .expect("new source exists");
+        // The old source keeps its large outbound: it remains the primary
+        // holder of the old stream's tail, which other nodes still need.  Its
+        // inbound becomes that of a regular peer so it can fetch the new
+        // stream itself.
+        let regular = self.overlay.config().bandwidth;
+        let old_bw = fss_overlay::PeerBandwidth {
+            inbound: regular.mean_rate,
+            outbound: regular.source_outbound,
+        };
+        self.overlay
+            .set_bandwidth(old_source, old_bw)
+            .expect("old source exists");
+        self.sources.push(new_source);
+
+        // The new source knows its own session immediately.
+        self.peers[new_source as usize]
+            .discover_sessions(&self.directory, self.directory.sessions()[new_id.0 as usize].first_segment);
+
+        // Record switch-time state.  A fresh record per peer, so serial
+        // switches (speaker after speaker) each get their own milestones.
+        self.switch_secs = Some(self.now_secs());
+        self.switch_sessions = Some((old_id, new_id));
+        self.switch_completed_secs = None;
+        self.traffic_switch_window = TrafficCounters::new();
+        self.ratio_samples.clear();
+        let old_session = *self.directory.get(old_id).expect("old session exists");
+        for record in self.switch_records.iter_mut() {
+            *record = SwitchRecord::default();
+        }
+        for peer_id in self.overlay.active_peers().collect::<Vec<_>>() {
+            let record = &mut self.switch_records[peer_id as usize];
+            record.present_at_switch = true;
+            record.q0 = self.peers[peer_id as usize]
+                .undelivered_in_session(&old_session, last_emitted);
+        }
+        // Sources are not "switching" nodes: exclude them from the averages.
+        self.switch_records[new_source as usize].present_at_switch = false;
+        new_id
+    }
+
+    /// Runs `n` scheduling periods.
+    pub fn run_periods(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until every countable node has completed the switch or
+    /// `max_periods` have elapsed since the call.  Returns the number of
+    /// periods executed.
+    pub fn run_until_switched(&mut self, max_periods: u64) -> u64 {
+        let mut executed = 0;
+        while executed < max_periods && self.switch_completed_secs.is_none() {
+            self.step();
+            executed += 1;
+        }
+        executed
+    }
+
+    /// True when every countable node has finished the old stream and
+    /// prepared the new one.
+    pub fn switch_complete(&self) -> bool {
+        self.switch_completed_secs.is_some()
+    }
+
+    /// Executes one scheduling period.
+    pub fn step(&mut self) {
+        let period_traffic_before = self.traffic_total;
+
+        // 1. Churn and membership repair.
+        self.apply_churn();
+
+        // 2. Source emission.
+        self.emit_segments();
+
+        // 3. Buffer-map exchange, discovery and scheduling.
+        let batches = self.collect_requests();
+
+        // 4. Transfer resolution and delivery.
+        self.deliver(batches);
+
+        // 5. Playback, milestones, ratio samples.
+        self.period_index += 1;
+        self.advance_playback_and_record();
+
+        // 6. Switch-window traffic accounting.
+        if self.switch_secs.is_some() && self.switch_completed_secs.is_none() {
+            let delta = TrafficCounters {
+                control_bits: self.traffic_total.control_bits - period_traffic_before.control_bits,
+                data_bits: self.traffic_total.data_bits - period_traffic_before.data_bits,
+            };
+            self.traffic_switch_window.merge(&delta);
+        }
+        self.update_switch_completion();
+    }
+
+    /// Builds the run report.
+    pub fn report(&self) -> SystemReport {
+        SystemReport {
+            scheduler: self.scheduler.name(),
+            switch_records: self.switch_records.clone(),
+            ratio_samples: self.ratio_samples.clone(),
+            traffic_total: self.traffic_total,
+            traffic_switch_window: self.traffic_switch_window,
+            periods: self.period_index,
+            switch_completed_secs: self.switch_completed_secs,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internal steps
+    // ------------------------------------------------------------------
+
+    fn apply_churn(&mut self) {
+        let Some(churn) = self.churn.as_mut() else {
+            return;
+        };
+        let event = churn
+            .step(&mut self.overlay, &self.sources)
+            .expect("churn over valid overlay");
+        for &left in &event.left {
+            if (left as usize) < self.switch_records.len() {
+                self.switch_records[left as usize].departed = true;
+            }
+        }
+        // Joiners may neighbour each other within the same churn step, so
+        // allocate all their protocol state first and only then compute join
+        // points from their neighbours' playback positions.
+        for &joined in &event.joined {
+            debug_assert_eq!(joined as usize, self.peers.len());
+            self.peers
+                .push(PeerNode::new(joined, &self.config, SegmentId(0)));
+            self.switch_records.push(SwitchRecord::default());
+        }
+        for &joined in &event.joined {
+            // Joiners follow their neighbours' current playback position.
+            let join_point = self
+                .overlay
+                .neighbors(joined)
+                .iter()
+                .map(|&n| self.peers[n as usize].id_play())
+                .max()
+                .unwrap_or(SegmentId(0));
+            self.peers[joined as usize].rejoin_at(join_point);
+        }
+        self.membership
+            .repair(&mut self.overlay)
+            .expect("membership repair over valid overlay");
+    }
+
+    fn emit_segments(&mut self) {
+        let Some(live) = self.directory.live().copied() else {
+            return;
+        };
+        self.emit_credit += self.config.play_rate * self.config.tau_secs;
+        let count = self.emit_credit.floor() as u64;
+        self.emit_credit -= count as f64;
+        let source = &mut self.peers[live.source_peer as usize];
+        for _ in 0..count {
+            source.buffer_mut().insert(self.next_emit);
+            self.next_emit = self.next_emit.next();
+        }
+    }
+
+    fn collect_requests(&mut self) -> Vec<RequestBatch> {
+        let active: Vec<PeerId> = self.overlay.active_peers().collect();
+
+        // Discovery pass: a node learns a new session as soon as any
+        // neighbour (or its own buffer) holds one of its segments.
+        let observed: Vec<(PeerId, SegmentId)> = active
+            .iter()
+            .map(|&p| {
+                let own = self.peers[p as usize].buffer().max_id();
+                let neighbours = self
+                    .overlay
+                    .neighbors(p)
+                    .iter()
+                    .filter_map(|&n| self.peers[n as usize].buffer().max_id())
+                    .max();
+                (p, own.into_iter().chain(neighbours).max().unwrap_or(SegmentId(0)))
+            })
+            .collect();
+        for (p, max_seen) in observed {
+            self.peers[p as usize].discover_sessions(&self.directory, max_seen);
+        }
+
+        // Scheduling pass (immutable).
+        let mut batches = Vec::with_capacity(active.len());
+        for &p in &active {
+            let neighbours = self.overlay.neighbors(p);
+            if neighbours.is_empty() {
+                continue;
+            }
+            // Buffer-map exchange cost: one 620-bit map per neighbour.
+            self.traffic_total
+                .add_control(self.config.buffermap_bits * neighbours.len() as u64);
+
+            let inbound = self
+                .overlay
+                .attrs(p)
+                .map(|a| a.bandwidth.inbound)
+                .unwrap_or(0.0);
+            if inbound <= 0.0 {
+                continue;
+            }
+            let infos: Vec<NeighborInfo<'_>> = neighbours
+                .iter()
+                .map(|&n| NeighborInfo {
+                    peer: n,
+                    outbound_rate: self
+                        .overlay
+                        .attrs(n)
+                        .map(|a| a.bandwidth.outbound)
+                        .unwrap_or(0.0),
+                    buffer: self.peers[n as usize].buffer(),
+                })
+                .collect();
+            let Some(ctx) = self.peers[p as usize].build_context(
+                &self.config,
+                &self.directory,
+                inbound,
+                &infos,
+            ) else {
+                continue;
+            };
+            let requests = self.scheduler.schedule(&ctx);
+            if requests.is_empty() {
+                continue;
+            }
+            batches.push(RequestBatch {
+                requester: p,
+                inbound_budget: ctx.inbound_budget(),
+                requests,
+            });
+        }
+        batches
+    }
+
+    fn deliver(&mut self, batches: Vec<RequestBatch>) {
+        let tau = self.config.tau_secs;
+        let outbound: HashMap<PeerId, usize> = self
+            .overlay
+            .active_peers()
+            .map(|p| {
+                let rate = self
+                    .overlay
+                    .attrs(p)
+                    .map(|a| a.bandwidth.outbound)
+                    .unwrap_or(0.0);
+                (p, (rate * tau).floor() as usize)
+            })
+            .collect();
+        let deliveries = self.resolver.resolve_round(
+            &batches,
+            |p| outbound.get(&p).copied().unwrap_or(0),
+            self.period_index,
+        );
+        for d in deliveries {
+            self.peers[d.requester as usize].buffer_mut().insert(d.segment);
+            self.traffic_total.add_data(self.config.segment_bits);
+        }
+    }
+
+    fn advance_playback_and_record(&mut self) {
+        let now = self.now_secs();
+        let active: Vec<PeerId> = self.overlay.active_peers().collect();
+        for &p in &active {
+            self.peers[p as usize].advance_playback(&self.config, &self.directory);
+        }
+
+        let Some((old_id, new_id)) = self.switch_sessions else {
+            return;
+        };
+        let since_switch = self.secs_since_switch();
+        let old = *self.directory.get(old_id).expect("old session");
+        let new = *self.directory.get(new_id).expect("new session");
+        let old_end = old.last_segment.expect("old session closed at switch");
+        let qs = self.config.new_source_qs;
+
+        let mut undelivered_sum = 0.0;
+        let mut delivered_sum = 0.0;
+        let mut counted = 0usize;
+        for &p in &active {
+            let record = &mut self.switch_records[p as usize];
+            if !record.countable() {
+                continue;
+            }
+            let node = &self.peers[p as usize];
+
+            if record.s1_finished_secs.is_none() && node.id_play() > old_end {
+                record.s1_finished_secs = Some(since_switch);
+            }
+            if record.s2_prepared_secs.is_none() && node.prepared_for(&new, qs) {
+                record.s2_prepared_secs = Some(since_switch);
+            }
+            if record.s2_started_secs.is_none() && node.id_play() > new.first_segment {
+                record.s2_started_secs = Some(since_switch);
+            }
+
+            // Ratio tracks (Figures 5 and 9).
+            let q1 = node.undelivered_in_session(&old, old_end);
+            let undelivered_ratio = if record.q0 == 0 {
+                0.0
+            } else {
+                q1 as f64 / record.q0 as f64
+            };
+            let q2 = node.q2_for(&new, qs);
+            let delivered_ratio = (qs - q2) as f64 / qs as f64;
+            undelivered_sum += undelivered_ratio;
+            delivered_sum += delivered_ratio;
+            counted += 1;
+        }
+        if counted > 0 {
+            self.ratio_samples.push(RatioSample {
+                secs: since_switch,
+                undelivered_ratio_s1: undelivered_sum / counted as f64,
+                delivered_ratio_s2: delivered_sum / counted as f64,
+            });
+        }
+        let _ = now;
+    }
+
+    fn update_switch_completion(&mut self) {
+        if self.switch_secs.is_none() || self.switch_completed_secs.is_some() {
+            return;
+        }
+        let all_done = self
+            .switch_records
+            .iter()
+            .filter(|r| r.countable())
+            .all(|r| r.completed());
+        let any = self.switch_records.iter().any(|r| r.countable());
+        if any && all_done {
+            self.switch_completed_secs = Some(self.secs_since_switch());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{SchedulingContext, SegmentRequest};
+    use fss_overlay::OverlayBuilder;
+    use fss_trace::{GeneratorConfig, TraceGenerator};
+
+    /// A simple priority-free scheduler used only by these tests: request
+    /// candidates oldest-first, spreading requests across suppliers so no
+    /// single supplier is asked for more than its per-period capacity.
+    struct GreedyOldest;
+    impl SegmentScheduler for GreedyOldest {
+        fn name(&self) -> &'static str {
+            "greedy-oldest"
+        }
+        fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest> {
+            let mut candidates = ctx.candidates.clone();
+            candidates.sort_by_key(|c| c.id);
+            let mut load: std::collections::HashMap<fss_overlay::PeerId, usize> =
+                std::collections::HashMap::new();
+            let mut requests = Vec::new();
+            for c in candidates {
+                if requests.len() >= ctx.inbound_budget() {
+                    break;
+                }
+                let best = c
+                    .suppliers
+                    .iter()
+                    .filter(|s| {
+                        let cap = (s.rate * ctx.tau_secs).floor() as usize;
+                        load.get(&s.peer).copied().unwrap_or(0) < cap
+                    })
+                    .min_by(|a, b| {
+                        let la = *load.get(&a.peer).unwrap_or(&0) as f64 / a.rate;
+                        let lb = *load.get(&b.peer).unwrap_or(&0) as f64 / b.rate;
+                        la.partial_cmp(&lb).unwrap()
+                    });
+                if let Some(best) = best {
+                    *load.entry(best.peer).or_default() += 1;
+                    requests.push(SegmentRequest {
+                        segment: c.id,
+                        supplier: best.peer,
+                    });
+                }
+            }
+            requests
+        }
+    }
+
+    fn build_system(nodes: usize, seed: u64) -> StreamingSystem {
+        let trace = TraceGenerator::new(GeneratorConfig::sized(nodes, seed)).generate("sys");
+        let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+        StreamingSystem::new(overlay, GossipConfig::paper_default(), Box::new(GreedyOldest))
+    }
+
+    fn first_two(sys: &StreamingSystem) -> (PeerId, PeerId) {
+        let peers: Vec<PeerId> = sys.overlay().active_peers().take(2).collect();
+        (peers[0], peers[1])
+    }
+
+    #[test]
+    fn warmup_reaches_steady_playback() {
+        let mut sys = build_system(60, 1);
+        let (source, _) = first_two(&sys);
+        sys.start_initial_source(source);
+        sys.run_periods(40);
+
+        assert_eq!(sys.periods(), 40);
+        // Every node should have started playing and be within a few periods
+        // of the stream head.
+        let head = 40.0 * 10.0;
+        let mut started = 0;
+        for p in sys.overlay().active_peers() {
+            if p == source {
+                continue;
+            }
+            let node = sys.peer(p);
+            if node.playback().has_started() {
+                started += 1;
+                assert!(node.id_play().value() as f64 <= head);
+                assert!(
+                    node.id_play().value() as f64 >= head - 200.0,
+                    "node {p} lags too far: {}",
+                    node.id_play()
+                );
+            }
+        }
+        assert!(
+            started as f64 >= 0.95 * (sys.overlay().active_count() - 1) as f64,
+            "only {started} nodes started playback"
+        );
+        assert!(sys.report().traffic_total.control_bits > 0);
+        assert!(sys.report().traffic_total.data_bits > 0);
+    }
+
+    #[test]
+    fn switch_completes_and_records_milestones() {
+        let mut sys = build_system(60, 2);
+        let (s1, s2) = first_two(&sys);
+        sys.start_initial_source(s1);
+        sys.run_periods(40);
+        sys.switch_source(s2);
+        let executed = sys.run_until_switched(200);
+        assert!(executed < 200, "switch never completed");
+        assert!(sys.switch_complete());
+
+        let report = sys.report();
+        assert_eq!(report.scheduler, "greedy-oldest");
+        assert!(report.switch_completed_secs.is_some());
+        let countable: Vec<&SwitchRecord> = report
+            .switch_records
+            .iter()
+            .filter(|r| r.countable())
+            .collect();
+        assert!(!countable.is_empty());
+        for r in countable {
+            assert!(r.completed());
+            let finished = r.s1_finished_secs.unwrap();
+            let prepared = r.s2_prepared_secs.unwrap();
+            assert!(finished >= 0.0 && prepared >= 0.0);
+            if let Some(started) = r.s2_started_secs {
+                assert!(started + 1e-9 >= finished.max(prepared) - 1.0);
+            }
+        }
+        // The new source is excluded from the averages.
+        assert!(!report.switch_records[s2 as usize].countable());
+
+        // Ratio samples move in the right directions.
+        assert!(!report.ratio_samples.is_empty());
+        let first = report.ratio_samples.first().unwrap();
+        let last = report.ratio_samples.last().unwrap();
+        assert!(last.undelivered_ratio_s1 <= first.undelivered_ratio_s1 + 1e-9);
+        assert!(last.delivered_ratio_s2 >= first.delivered_ratio_s2 - 1e-9);
+        assert!((last.delivered_ratio_s2 - 1.0).abs() < 1e-9);
+
+        // Communication overhead is on the order of a percent.
+        let overhead = report.traffic_switch_window.overhead();
+        assert!(overhead > 0.001 && overhead < 0.1, "overhead {overhead}");
+    }
+
+    #[test]
+    fn dynamic_environment_with_churn_still_completes() {
+        let mut sys = build_system(80, 3);
+        let (s1, s2) = first_two(&sys);
+        sys.start_initial_source(s1);
+        sys.run_periods(30);
+        sys.set_churn(ChurnModel::paper_default(99));
+        sys.switch_source(s2);
+        let executed = sys.run_until_switched(300);
+        assert!(executed < 300, "switch never completed under churn");
+
+        let report = sys.report();
+        // Some nodes left, some joined; joiners are not countable.
+        assert!(report.switch_records.len() > 80);
+        assert!(report.switch_records.iter().any(|r| r.departed));
+        assert!(report
+            .switch_records
+            .iter()
+            .skip(80)
+            .all(|r| !r.countable()));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let mut sys = build_system(50, 7);
+            let (s1, s2) = first_two(&sys);
+            sys.start_initial_source(s1);
+            sys.run_periods(25);
+            sys.switch_source(s2);
+            sys.run_periods(40);
+            sys.report()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.switch_records, b.switch_records);
+        assert_eq!(a.traffic_total, b.traffic_total);
+        assert_eq!(a.ratio_samples, b.ratio_samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial source already started")]
+    fn double_initial_source_panics() {
+        let mut sys = build_system(20, 4);
+        let (a, b) = first_two(&sys);
+        sys.start_initial_source(a);
+        sys.start_initial_source(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "live session")]
+    fn switch_without_initial_source_panics() {
+        let mut sys = build_system(20, 5);
+        let (p, _) = first_two(&sys);
+        sys.switch_source(p);
+    }
+}

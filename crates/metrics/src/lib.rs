@@ -1,0 +1,31 @@
+//! Metric aggregation and reporting.
+//!
+//! `fss-gossip` records raw observations (per-node switch records, per-period
+//! ratio samples, traffic counters); this crate turns them into the metrics
+//! the paper reports:
+//!
+//! * [`summary::Summary`] — generic descriptive statistics,
+//! * [`switch::SwitchSummary`] — average finishing time of `S1`, average
+//!   preparing time of `S2` (= average switch time), completion rate, and the
+//!   [`switch::reduction_ratio`] between two algorithms (Figures 6, 7, 10,
+//!   11),
+//! * [`timeseries::RatioTrack`] — the undelivered-`S1` / delivered-`S2`
+//!   tracks of Figures 5 and 9,
+//! * [`overhead::OverheadSummary`] — the communication overhead of Figures 8
+//!   and 12, and
+//! * [`report::Table`] — fixed-width text tables / CSV used by the `figures`
+//!   binary and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod overhead;
+pub mod report;
+pub mod summary;
+pub mod switch;
+pub mod timeseries;
+
+pub use overhead::OverheadSummary;
+pub use report::Table;
+pub use summary::Summary;
+pub use switch::{reduction_ratio, SwitchSummary};
+pub use timeseries::RatioTrack;

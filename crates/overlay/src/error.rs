@@ -1,0 +1,70 @@
+//! Error type for overlay construction and mutation.
+
+use crate::graph::PeerId;
+use std::fmt;
+
+/// Errors produced while building or mutating an overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverlayError {
+    /// An operation referenced a peer that does not exist or has left.
+    UnknownPeer {
+        /// The offending peer id.
+        peer: PeerId,
+    },
+    /// The requested minimum degree cannot be met because the overlay has too
+    /// few peers.
+    DegreeUnachievable {
+        /// Requested minimum degree.
+        requested: usize,
+        /// Number of peers available.
+        peers: usize,
+    },
+    /// A bandwidth configuration was internally inconsistent
+    /// (e.g. `mean` outside `[min, max]`).
+    InvalidBandwidth {
+        /// Human readable description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::UnknownPeer { peer } => write!(f, "unknown or departed peer {peer}"),
+            OverlayError::DegreeUnachievable { requested, peers } => write!(
+                f,
+                "cannot give every peer {requested} neighbours with only {peers} peers"
+            ),
+            OverlayError::InvalidBandwidth { message } => {
+                write!(f, "invalid bandwidth configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relevant_values() {
+        assert!(OverlayError::UnknownPeer { peer: 12 }.to_string().contains("12"));
+        let e = OverlayError::DegreeUnachievable {
+            requested: 5,
+            peers: 3,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        let e = OverlayError::InvalidBandwidth {
+            message: "mean below min".into(),
+        };
+        assert!(e.to_string().contains("mean below min"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn check<E: std::error::Error>(_: E) {}
+        check(OverlayError::UnknownPeer { peer: 0 });
+    }
+}

@@ -1,0 +1,120 @@
+//! Pairwise latency model.
+//!
+//! The paper uses the trace ping times as its only latency information.  We
+//! model the one-way latency between two overlay neighbours as half the sum
+//! of their measured ping RTT halves — i.e. each peer contributes half of its
+//! own access RTT — which is the standard "last-mile dominates" approximation
+//! for peer-to-peer overlays of that era.
+
+use crate::graph::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// Stores per-peer access delay and answers pairwise latency queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One-way access delay per peer in milliseconds (half the measured ping).
+    access_ms: Vec<f64>,
+}
+
+impl LatencyModel {
+    /// Builds the model from per-peer ping RTTs (milliseconds), indexed by
+    /// [`PeerId`].
+    pub fn from_pings(pings_ms: &[f64]) -> Self {
+        LatencyModel {
+            access_ms: pings_ms.iter().map(|p| (p / 2.0).max(0.0)).collect(),
+        }
+    }
+
+    /// Number of peers known to the model.
+    pub fn len(&self) -> usize {
+        self.access_ms.len()
+    }
+
+    /// True when the model holds no peers.
+    pub fn is_empty(&self) -> bool {
+        self.access_ms.is_empty()
+    }
+
+    /// Registers a newly joined peer and returns its index (== its
+    /// [`PeerId`] if callers register peers in id order, which the builder and
+    /// churn model do).
+    pub fn push_peer(&mut self, ping_ms: f64) -> usize {
+        self.access_ms.push((ping_ms / 2.0).max(0.0));
+        self.access_ms.len() - 1
+    }
+
+    /// One-way access delay of a peer in milliseconds (0 for unknown peers).
+    pub fn access_delay_ms(&self, peer: PeerId) -> f64 {
+        self.access_ms.get(peer as usize).copied().unwrap_or(0.0)
+    }
+
+    /// One-way latency between two peers in milliseconds.
+    pub fn one_way_ms(&self, a: PeerId, b: PeerId) -> f64 {
+        self.access_delay_ms(a) + self.access_delay_ms(b)
+    }
+
+    /// Round-trip latency between two peers in milliseconds.
+    pub fn round_trip_ms(&self, a: PeerId, b: PeerId) -> f64 {
+        2.0 * self.one_way_ms(a, b)
+    }
+
+    /// Mean one-way access delay over all peers (milliseconds).
+    pub fn mean_access_ms(&self) -> f64 {
+        if self.access_ms.is_empty() {
+            0.0
+        } else {
+            self.access_ms.iter().sum::<f64>() / self.access_ms.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_pings() {
+        let m = LatencyModel::from_pings(&[100.0, 50.0, 0.0]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.access_delay_ms(0), 50.0);
+        assert_eq!(m.access_delay_ms(1), 25.0);
+        assert_eq!(m.access_delay_ms(2), 0.0);
+    }
+
+    #[test]
+    fn pairwise_latency_is_symmetric() {
+        let m = LatencyModel::from_pings(&[100.0, 60.0]);
+        assert_eq!(m.one_way_ms(0, 1), m.one_way_ms(1, 0));
+        assert_eq!(m.one_way_ms(0, 1), 80.0);
+        assert_eq!(m.round_trip_ms(0, 1), 160.0);
+    }
+
+    #[test]
+    fn unknown_peers_have_zero_delay() {
+        let m = LatencyModel::from_pings(&[40.0]);
+        assert_eq!(m.access_delay_ms(9), 0.0);
+        assert_eq!(m.one_way_ms(0, 9), 20.0);
+    }
+
+    #[test]
+    fn negative_pings_clamp_to_zero() {
+        let m = LatencyModel::from_pings(&[-10.0]);
+        assert_eq!(m.access_delay_ms(0), 0.0);
+    }
+
+    #[test]
+    fn push_peer_extends_the_model() {
+        let mut m = LatencyModel::from_pings(&[10.0]);
+        let idx = m.push_peer(30.0);
+        assert_eq!(idx, 1);
+        assert_eq!(m.access_delay_ms(1), 15.0);
+        assert!((m.mean_access_ms() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model_mean_is_zero() {
+        assert_eq!(LatencyModel::default().mean_access_ms(), 0.0);
+        assert!(LatencyModel::default().is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Generic discrete-event engine.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle given to an [`EventHandler`] for scheduling follow-up events.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Schedules `payload` at an absolute time.  Times in the past are clamped
+    /// to "now" so causality is never violated.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        self.queue.push(time.max(self.now), payload);
+    }
+}
+
+/// User logic invoked for every dispatched event.
+pub trait EventHandler<E> {
+    /// Handles a single event.  New events may be scheduled via `scheduler`.
+    fn handle(&mut self, event: E, scheduler: &mut Scheduler<'_, E>);
+}
+
+impl<E, F> EventHandler<E> for F
+where
+    F: FnMut(E, &mut Scheduler<'_, E>),
+{
+    fn handle(&mut self, event: E, scheduler: &mut Scheduler<'_, E>) {
+        self(event, scheduler)
+    }
+}
+
+/// The discrete-event simulation loop.
+///
+/// The engine owns the virtual clock and the event queue; the caller owns the
+/// model state (inside its [`EventHandler`]).
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at `t = 0` with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// The current virtual time (time of the most recently dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time (clamped to the current time).
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        self.queue.push(time.max(self.now), payload);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Dispatches the next pending event, if any.  Returns `true` when an
+    /// event was dispatched.
+    pub fn step<H: EventHandler<E>>(&mut self, handler: &mut H) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                self.now = ev.time;
+                self.dispatched += 1;
+                let mut scheduler = Scheduler {
+                    now: self.now,
+                    queue: &mut self.queue,
+                };
+                handler.handle(ev.payload, &mut scheduler);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty or the next event would fire after
+    /// `deadline`.  Returns the number of events dispatched.
+    pub fn run_until<H: EventHandler<E>>(&mut self, deadline: SimTime, handler: &mut H) -> u64 {
+        let mut count = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step(handler);
+            count += 1;
+        }
+        // Even if nothing fired exactly at the deadline the clock observably
+        // reaches it, so subsequent scheduling is relative to the deadline.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        count
+    }
+
+    /// Runs until the event queue drains completely.
+    pub fn run_to_completion<H: EventHandler<E>>(&mut self, handler: &mut H) -> u64 {
+        let mut count = 0;
+        while self.step(handler) {
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Done,
+    }
+
+    #[test]
+    fn events_dispatch_in_order_and_can_chain() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1), Ev::Tick(0));
+
+        let mut seen = Vec::new();
+        let mut handler = |ev: Ev, s: &mut Scheduler<'_, Ev>| match ev {
+            Ev::Tick(n) => {
+                seen.push((s.now().as_millis(), n));
+                if n < 3 {
+                    s.schedule_in(SimDuration::from_secs(1), Ev::Tick(n + 1));
+                } else {
+                    s.schedule_in(SimDuration::from_millis(500), Ev::Done);
+                }
+            }
+            Ev::Done => seen.push((s.now().as_millis(), 99)),
+        };
+
+        let dispatched = engine.run_to_completion(&mut handler);
+        assert_eq!(dispatched, 5);
+        assert_eq!(
+            seen,
+            vec![(1000, 0), (2000, 1), (3000, 2), (4000, 3), (4500, 99)]
+        );
+        assert_eq!(engine.now(), SimTime::from_millis(4500));
+        assert_eq!(engine.dispatched(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut engine = Engine::new();
+        for s in 1..=10 {
+            engine.schedule_at(SimTime::from_secs(s), Ev::Tick(s as u32));
+        }
+        let mut count = 0;
+        let fired = engine.run_until(SimTime::from_secs(4), &mut |_ev, _s: &mut Scheduler<'_, Ev>| {
+            count += 1;
+        });
+        assert_eq!(fired, 4);
+        assert_eq!(count, 4);
+        assert_eq!(engine.pending(), 6);
+        assert_eq!(engine.now(), SimTime::from_secs(4));
+
+        // A deadline with no events still advances the observable clock.
+        let fired = engine.run_until(SimTime::from_millis(4_500), &mut |_ev, _s: &mut Scheduler<'_, Ev>| {});
+        assert_eq!(fired, 0);
+        assert_eq!(engine.now(), SimTime::from_millis(4_500));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(5), Ev::Tick(1));
+        engine.run_to_completion(&mut |ev: Ev, s: &mut Scheduler<'_, Ev>| {
+            if let Ev::Tick(1) = ev {
+                // Attempt to schedule in the past.
+                s.schedule_at(SimTime::from_secs(1), Ev::Done);
+            }
+        });
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn step_on_empty_queue_returns_false() {
+        let mut engine: Engine<Ev> = Engine::new();
+        assert!(!engine.step(&mut |_ev: Ev, _s: &mut Scheduler<'_, Ev>| {}));
+        assert_eq!(engine.dispatched(), 0);
+    }
+}

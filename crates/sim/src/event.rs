@@ -1,0 +1,76 @@
+//! Scheduled event wrapper used by the [`EventQueue`](crate::EventQueue).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// An event together with its firing time and a monotonically increasing
+/// sequence number.
+///
+/// The sequence number gives events scheduled for the same instant a strict
+/// FIFO order, which keeps simulations fully deterministic regardless of the
+/// underlying heap implementation details.
+#[derive(Clone, Debug)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion order, unique per queue.
+    pub seq: u64,
+    /// The payload delivered to the handler.
+    pub payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// Creates a new scheduled event.
+    pub fn new(time: SimTime, seq: u64, payload: E) -> Self {
+        ScheduledEvent { time, seq, payload }
+    }
+
+    /// The (time, seq) key that orders this event.
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_time_then_sequence() {
+        let early = ScheduledEvent::new(SimTime::from_millis(5), 7, "early");
+        let late = ScheduledEvent::new(SimTime::from_millis(9), 0, "late");
+        let tie_a = ScheduledEvent::new(SimTime::from_millis(9), 1, "tie-a");
+        let tie_b = ScheduledEvent::new(SimTime::from_millis(9), 2, "tie-b");
+
+        assert!(early < late);
+        assert!(late < tie_a);
+        assert!(tie_a < tie_b);
+    }
+
+    #[test]
+    fn equality_ignores_payload() {
+        let a = ScheduledEvent::new(SimTime::from_millis(1), 0, 10_u32);
+        let b = ScheduledEvent::new(SimTime::from_millis(1), 0, 99_u32);
+        assert_eq!(a, b);
+    }
+}

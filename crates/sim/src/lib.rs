@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! `fss-sim` is the lowest-level substrate of the fast-source-switching
+//! reproduction.  It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a fixed-point virtual clock (millisecond
+//!   resolution) so that event ordering is exact and platform independent,
+//! * [`EventQueue`] — a priority queue with deterministic FIFO tie-breaking
+//!   for events scheduled at the same instant,
+//! * [`Engine`] — a generic event loop driving a user supplied
+//!   [`EventHandler`],
+//! * [`RngFactory`] — reproducible per-stream random number generators derived
+//!   from a single master seed, and
+//! * [`PeriodDriver`] — a convenience driver for period-synchronous protocols
+//!   (the gossip scheduling period `τ` of the paper).
+//!
+//! The engine is intentionally free of any networking or streaming concepts;
+//! those live in `fss-gossip`.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod period;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, EventHandler, Scheduler};
+pub use event::ScheduledEvent;
+pub use period::{PeriodControl, PeriodDriver};
+pub use queue::EventQueue;
+pub use rng::{RngFactory, StreamRng};
+pub use time::{SimDuration, SimTime};

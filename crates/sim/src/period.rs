@@ -1,0 +1,133 @@
+//! Period-synchronous driver.
+//!
+//! The gossip protocol of the paper operates in fixed scheduling periods
+//! (`τ = 1 s`): once per period every node exchanges buffer maps, runs its
+//! scheduler and issues requests.  [`PeriodDriver`] iterates those rounds on
+//! top of the virtual clock and stops either at a configured horizon or when
+//! the caller signals completion.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Outcome of a single period callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeriodControl {
+    /// Keep running subsequent periods.
+    Continue,
+    /// Stop the driver after this period.
+    Stop,
+}
+
+/// Iterates fixed-length scheduling periods.
+#[derive(Debug, Clone)]
+pub struct PeriodDriver {
+    period: SimDuration,
+    now: SimTime,
+    round: u64,
+}
+
+impl PeriodDriver {
+    /// Creates a driver starting at `start`, advancing by `period` each round.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero — a zero-length scheduling period would
+    /// never advance the clock.
+    pub fn new(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "scheduling period must be non-zero");
+        PeriodDriver {
+            period,
+            now: start,
+            round: 0,
+        }
+    }
+
+    /// The scheduling period length.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The time of the period that will run next.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of periods completed so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs `f` once for the next period and advances the clock.
+    ///
+    /// `f` receives the period index (0-based) and the period start time.
+    pub fn step<F>(&mut self, mut f: F) -> PeriodControl
+    where
+        F: FnMut(u64, SimTime) -> PeriodControl,
+    {
+        let control = f(self.round, self.now);
+        self.round += 1;
+        self.now += self.period;
+        control
+    }
+
+    /// Runs periods until `f` returns [`PeriodControl::Stop`] or `max_rounds`
+    /// periods have executed.  Returns the number of periods executed.
+    pub fn run<F>(&mut self, max_rounds: u64, mut f: F) -> u64
+    where
+        F: FnMut(u64, SimTime) -> PeriodControl,
+    {
+        let mut executed = 0;
+        while executed < max_rounds {
+            let control = self.step(&mut f);
+            executed += 1;
+            if control == PeriodControl::Stop {
+                break;
+            }
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_clock_by_period() {
+        let mut d = PeriodDriver::new(SimTime::ZERO, SimDuration::from_secs(1));
+        let mut times = Vec::new();
+        d.run(3, |round, t| {
+            times.push((round, t.as_millis()));
+            PeriodControl::Continue
+        });
+        assert_eq!(times, vec![(0, 0), (1, 1000), (2, 2000)]);
+        assert_eq!(d.now(), SimTime::from_secs(3));
+        assert_eq!(d.rounds_completed(), 3);
+    }
+
+    #[test]
+    fn stops_when_callback_requests() {
+        let mut d = PeriodDriver::new(SimTime::from_secs(10), SimDuration::from_secs(2));
+        let executed = d.run(100, |round, _| {
+            if round == 4 {
+                PeriodControl::Stop
+            } else {
+                PeriodControl::Continue
+            }
+        });
+        assert_eq!(executed, 5);
+        assert_eq!(d.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn respects_max_rounds() {
+        let mut d = PeriodDriver::new(SimTime::ZERO, SimDuration::from_millis(500));
+        let executed = d.run(7, |_, _| PeriodControl::Continue);
+        assert_eq!(executed, 7);
+        assert_eq!(d.now(), SimTime::from_millis(3_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let _ = PeriodDriver::new(SimTime::ZERO, SimDuration::ZERO);
+    }
+}

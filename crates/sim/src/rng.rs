@@ -1,0 +1,122 @@
+//! Reproducible random number streams.
+//!
+//! Every stochastic component of the simulator (topology generation, bandwidth
+//! assignment, churn, neighbour selection, …) draws from its own named stream
+//! derived from a single master seed.  Two runs configured with the same
+//! master seed therefore produce identical results, while independent
+//! components never perturb each other's randomness — a property the
+//! experiment harness relies on when it compares the fast and normal switch
+//! algorithms on the *same* workload.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A deterministic random number generator for one named stream.
+pub type StreamRng = SmallRng;
+
+/// Derives independent, reproducible RNG streams from a master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngFactory {
+    master_seed: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngFactory { master_seed }
+    }
+
+    /// The master seed this factory was created from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the RNG for the stream identified by `label` and `index`.
+    ///
+    /// The same `(seed, label, index)` triple always yields the same stream.
+    pub fn stream(&self, label: &str, index: u64) -> StreamRng {
+        let mut h = self.master_seed ^ 0x9e37_79b9_7f4a_7c15;
+        for &b in label.as_bytes() {
+            h = splitmix64(h ^ b as u64);
+        }
+        h = splitmix64(h ^ index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        SmallRng::seed_from_u64(h)
+    }
+
+    /// Convenience for streams without a per-entity index.
+    pub fn named(&self, label: &str) -> StreamRng {
+        self.stream(label, 0)
+    }
+
+    /// Derives a child factory, e.g. one per simulation run in a sweep.
+    pub fn child(&self, index: u64) -> RngFactory {
+        RngFactory {
+            master_seed: splitmix64(self.master_seed ^ index.wrapping_mul(0x94d0_49bb_1331_11eb)),
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn draw(mut rng: StreamRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let f = RngFactory::new(42);
+        assert_eq!(
+            draw(f.stream("bandwidth", 3), 16),
+            draw(f.stream("bandwidth", 3), 16)
+        );
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = RngFactory::new(42);
+        assert_ne!(draw(f.named("churn"), 16), draw(f.named("topology"), 16));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let f = RngFactory::new(42);
+        assert_ne!(draw(f.stream("node", 1), 16), draw(f.stream("node", 2), 16));
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = RngFactory::new(1);
+        let b = RngFactory::new(2);
+        assert_ne!(draw(a.named("x"), 16), draw(b.named("x"), 16));
+    }
+
+    #[test]
+    fn child_factories_are_deterministic_and_distinct() {
+        let f = RngFactory::new(7);
+        assert_eq!(f.child(5).master_seed(), f.child(5).master_seed());
+        assert_ne!(f.child(5).master_seed(), f.child(6).master_seed());
+        assert_ne!(f.child(5).master_seed(), f.master_seed());
+    }
+
+    #[test]
+    fn splitmix_is_a_permutation_sample() {
+        // Not a full bijectivity proof, just a collision sanity check over a
+        // small consecutive range.
+        let mut outs: Vec<u64> = (0..10_000).map(splitmix64).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

@@ -1,0 +1,237 @@
+//! Fixed-point virtual time.
+//!
+//! The simulator measures time in integer **milliseconds** so that event
+//! ordering is exact (no floating point tie ambiguity) while still being fine
+//! enough to express sub-period transfer completion times.  The paper's
+//! scheduling period is `τ = 1 s = 1000 ms`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of millisecond ticks per simulated second.
+pub const TICKS_PER_SECOND: u64 = 1_000;
+
+/// An absolute instant on the virtual clock (milliseconds since simulation
+/// start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of virtual time (milliseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation origin (`t = 0`).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw millisecond ticks.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant from whole simulated seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SECOND)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// millisecond.  Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            SimTime(0)
+        } else {
+            SimTime((secs * TICKS_PER_SECOND as f64).round() as u64)
+        }
+    }
+
+    /// Raw millisecond ticks since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw millisecond ticks.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a duration from whole simulated seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * TICKS_PER_SECOND)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// millisecond.  Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((secs * TICKS_PER_SECOND as f64).round() as u64)
+        }
+    }
+
+    /// Raw millisecond ticks.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The duration expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3_000);
+        assert_eq!(SimTime::from_millis(1_500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_millis(), 250);
+    }
+
+    #[test]
+    fn negative_and_zero_seconds_clamp() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-0.5), SimDuration::ZERO);
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs_f64(2.5);
+        assert_eq!((t + d).as_millis(), 12_500);
+        assert_eq!((t + d) - t, d);
+        // Subtraction saturates rather than underflowing.
+        assert_eq!(t - (t + d), SimDuration::ZERO);
+        assert_eq!(t.since(t + d), SimDuration::ZERO);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += SimDuration::from_secs(1);
+        }
+        assert_eq!(t, SimTime::from_secs(5));
+
+        let mut d = SimDuration::ZERO;
+        d += SimDuration::from_millis(300);
+        d += SimDuration::from_millis(700);
+        assert_eq!(d, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(20);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_uses_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1_250)), "1.250");
+        assert_eq!(format!("{:?}", SimDuration::from_millis(40)), "0.040s");
+    }
+
+    #[test]
+    fn duration_mul_scales() {
+        assert_eq!(
+            SimDuration::from_millis(250).mul(4),
+            SimDuration::from_secs(1)
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for trace parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line in the trace file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// An edge references a node id that does not exist in the trace.
+    UnknownNode {
+        /// The offending node id.
+        node: u32,
+    },
+    /// The same node id appears twice.
+    DuplicateNode {
+        /// The duplicated node id.
+        node: u32,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop {
+        /// The node with the self loop.
+        node: u32,
+    },
+    /// The trace contains no nodes.
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::UnknownNode { node } => {
+                write!(f, "edge references unknown node id {node}")
+            }
+            TraceError::DuplicateNode { node } => {
+                write!(f, "duplicate node id {node} in trace")
+            }
+            TraceError::SelfLoop { node } => write!(f, "self loop on node {node}"),
+            TraceError::Empty => write!(f, "trace contains no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::Parse {
+            line: 3,
+            message: "bad port".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad port"));
+        assert!(TraceError::UnknownNode { node: 7 }.to_string().contains('7'));
+        assert!(TraceError::DuplicateNode { node: 9 }.to_string().contains('9'));
+        assert!(TraceError::SelfLoop { node: 2 }.to_string().contains('2'));
+        assert!(TraceError::Empty.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(TraceError::Empty);
+    }
+}

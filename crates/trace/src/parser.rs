@@ -1,0 +1,205 @@
+//! Plain-text trace serialisation.
+//!
+//! The format mirrors the spirit of the clip2 crawl dumps: one record per
+//! line, plus an explicit edge section so the observed overlay topology can be
+//! reconstructed.  The format is line oriented and human inspectable:
+//!
+//! ```text
+//! # trace <name>
+//! node <id> <ip> <host> <port> <ping_ms> <speed_kbps>
+//! ...
+//! edge <id_a> <id_b>
+//! ...
+//! ```
+//!
+//! Blank lines and lines starting with `#` (other than the header) are
+//! ignored.
+
+use crate::error::TraceError;
+use crate::record::{NodeId, Trace, TraceRecord};
+use std::net::Ipv4Addr;
+
+/// Serialises a trace into the plain-text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.nodes.len() * 48 + trace.edges.len() * 12);
+    out.push_str(&format!("# trace {}\n", trace.name));
+    for n in &trace.nodes {
+        out.push_str(&format!(
+            "node {} {} {} {} {:.3} {}\n",
+            n.id, n.ip, n.host, n.port, n.ping_ms, n.speed_kbps
+        ));
+    }
+    for (a, b) in &trace.edges {
+        out.push_str(&format!("edge {a} {b}\n"));
+    }
+    out
+}
+
+/// Parses a trace from the plain-text format.
+pub fn from_text(text: &str) -> Result<Trace, TraceError> {
+    let mut name = String::from("unnamed");
+    let mut nodes: Vec<TraceRecord> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# trace ") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let record = parse_node(line_no, &mut parts)?;
+                nodes.push(record);
+            }
+            Some("edge") => {
+                let a = parse_field::<NodeId>(line_no, parts.next(), "edge endpoint a")?;
+                let b = parse_field::<NodeId>(line_no, parts.next(), "edge endpoint b")?;
+                edges.push((a, b));
+            }
+            Some(other) => {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    message: format!("unknown record type '{other}'"),
+                })
+            }
+            None => unreachable!("non-empty line has at least one token"),
+        }
+    }
+
+    Trace::new(name, nodes, edges)
+}
+
+fn parse_node<'a>(
+    line: usize,
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> Result<TraceRecord, TraceError> {
+    let id = parse_field::<NodeId>(line, parts.next(), "node id")?;
+    let ip = parse_field::<Ipv4Addr>(line, parts.next(), "ip address")?;
+    let host = parts
+        .next()
+        .ok_or_else(|| missing(line, "host name"))?
+        .to_string();
+    let port = parse_field::<u16>(line, parts.next(), "port")?;
+    let ping_ms = parse_field::<f64>(line, parts.next(), "ping time")?;
+    let speed_kbps = parse_field::<u32>(line, parts.next(), "speed")?;
+    if ping_ms < 0.0 || !ping_ms.is_finite() {
+        return Err(TraceError::Parse {
+            line,
+            message: format!("ping time {ping_ms} must be finite and non-negative"),
+        });
+    }
+    Ok(TraceRecord {
+        id,
+        ip,
+        host,
+        port,
+        ping_ms,
+        speed_kbps,
+    })
+}
+
+fn parse_field<T: std::str::FromStr>(
+    line: usize,
+    token: Option<&str>,
+    what: &str,
+) -> Result<T, TraceError> {
+    let token = token.ok_or_else(|| missing(line, what))?;
+    token.parse::<T>().map_err(|_| TraceError::Parse {
+        line,
+        message: format!("invalid {what}: '{token}'"),
+    })
+}
+
+fn missing(line: usize, what: &str) -> TraceError {
+    TraceError::Parse {
+        line,
+        message: format!("missing {what}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let trace = TraceGenerator::new(GeneratorConfig::sized(120, 42)).generate("round-trip");
+        let text = to_text(&trace);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.name, "round-trip");
+        assert_eq!(parsed.node_count(), trace.node_count());
+        assert_eq!(parsed.edges, trace.edges);
+        for (a, b) in parsed.nodes.iter().zip(trace.nodes.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.port, b.port);
+            assert_eq!(a.speed_kbps, b.speed_kbps);
+            assert!((a.ping_ms - b.ping_ms).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parses_minimal_hand_written_trace() {
+        let text = "\
+# trace mini
+# a comment
+node 0 10.0.0.1 alpha.example 6346 12.5 768
+
+node 1 10.0.0.2 beta.example 6347 99 56
+edge 0 1
+";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.name, "mini");
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.edges, vec![(0, 1)]);
+        assert_eq!(t.nodes[1].port, 6347);
+    }
+
+    #[test]
+    fn rejects_unknown_record_type() {
+        let err = from_text("peer 0 x").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_ip() {
+        let err = from_text("node 0 300.1.1.1 h 6346 10 56").unwrap_err();
+        assert!(err.to_string().contains("ip address"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let err = from_text("node 0 10.0.0.1 host 6346").unwrap_err();
+        assert!(err.to_string().contains("missing ping time"));
+    }
+
+    #[test]
+    fn rejects_negative_ping() {
+        let err = from_text("node 0 10.0.0.1 host 6346 -3.0 56").unwrap_err();
+        assert!(err.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn rejects_edge_to_unknown_node() {
+        let text = "node 0 10.0.0.1 h 6346 10 56\nedge 0 4\n";
+        assert_eq!(
+            from_text(text).unwrap_err(),
+            TraceError::UnknownNode { node: 4 }
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace_error() {
+        assert_eq!(from_text(""), Err(TraceError::Empty));
+    }
+}

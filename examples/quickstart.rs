@@ -1,0 +1,42 @@
+//! Quick start: compare the fast and normal source-switch algorithms on a
+//! small static overlay and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fast_source_switching::prelude::*;
+
+fn main() {
+    // A 300-node static overlay with the paper's protocol parameters
+    // (τ = 1 s, p = 10 segments/s, B = 600, Q = 10, Qs = 50, M = 5).
+    let config = ScenarioConfig::paper(300, Algorithm::Fast, Environment::Static);
+
+    println!("running the fast and normal switch algorithms on {} nodes...", config.nodes);
+    let comparison = run_comparison(&config);
+
+    let fast = &comparison.fast;
+    let normal = &comparison.normal;
+    println!();
+    println!("                         normal      fast");
+    println!(
+        "avg finishing time of S1 {:>7.2}s  {:>7.2}s",
+        normal.switch.avg_finish_old_secs, fast.switch.avg_finish_old_secs
+    );
+    println!(
+        "avg preparing time of S2 {:>7.2}s  {:>7.2}s   (= average switch time)",
+        normal.switch.avg_prepare_new_secs, fast.switch.avg_prepare_new_secs
+    );
+    println!(
+        "communication overhead   {:>7.4}   {:>7.4}",
+        normal.overhead.overhead, fast.overhead.overhead
+    );
+    println!(
+        "\nreduction ratio of the average switch time: {:.1}%",
+        comparison.reduction_ratio() * 100.0
+    );
+    println!(
+        "every node completed the switch: fast={} normal={}",
+        fast.completed, normal.completed
+    );
+}

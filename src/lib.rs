@@ -1,0 +1,72 @@
+//! Fast Source Switching for Gossip-based Peer-to-Peer Streaming.
+//!
+//! This crate is the facade of a full reproduction of Li, Cao, Chen and Liu,
+//! *"Fast Source Switching for Gossip-based Peer-to-Peer Streaming"*
+//! (ICPP 2008).  It re-exports the workspace crates:
+//!
+//! * [`trace`] — synthetic Gnutella-2001-style crawl traces (the paper's
+//!   `dss.clip2.com` topologies),
+//! * [`overlay`] — overlay construction (`M = 5` neighbour augmentation,
+//!   bandwidth assignment, churn),
+//! * [`sim`] — the deterministic simulation substrate,
+//! * [`gossip`] — the pull-based gossip streaming system (buffers, buffer
+//!   maps, playback, transfers),
+//! * [`core`] — the paper's contribution: the switch-process model, segment
+//!   priorities, the greedy supplier assignment, and the Fast/Normal switch
+//!   schedulers,
+//! * [`metrics`] — metric aggregation (switch times, reduction ratio,
+//!   communication overhead, ratio tracks), and
+//! * [`experiments`] — the scenario runner and the per-figure harness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fast_source_switching::prelude::*;
+//!
+//! // Compare the fast and normal switch algorithms on a small static overlay.
+//! let config = ScenarioConfig::quick(80, Algorithm::Fast, Environment::Static);
+//! let comparison = run_comparison(&config);
+//! assert!(comparison.fast.completed && comparison.normal.completed);
+//! println!(
+//!     "switch time: fast {:.1}s vs normal {:.1}s (reduction {:.0}%)",
+//!     comparison.fast.avg_switch_time_secs(),
+//!     comparison.normal.avg_switch_time_secs(),
+//!     comparison.reduction_ratio() * 100.0
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fss_core as core;
+pub use fss_experiments as experiments;
+pub use fss_gossip as gossip;
+pub use fss_metrics as metrics;
+pub use fss_overlay as overlay;
+pub use fss_sim as sim;
+pub use fss_trace as trace;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use fss_core::{FastSwitchScheduler, NormalSwitchScheduler, SwitchModel};
+    pub use fss_experiments::{
+        run_comparison, run_scenario, Algorithm, ComparisonResult, Environment, RunResult,
+        ScenarioConfig,
+    };
+    pub use fss_gossip::{
+        GossipConfig, SchedulingContext, SegmentId, SegmentScheduler, StreamingSystem,
+    };
+    pub use fss_metrics::{reduction_ratio, SwitchSummary, Table};
+    pub use fss_overlay::{ChurnModel, Overlay, OverlayBuilder, OverlayConfig, PeerId};
+    pub use fss_trace::{GeneratorConfig, TraceCatalog, TraceGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let model = crate::core::SwitchModel::new(100.0, 50.0, 10.0, 10.0, 15.0);
+        let split = model.optimal_split();
+        assert!(split.r1 > 0.0 && split.r2 > 0.0);
+        assert_eq!(crate::trace::TraceCatalog::standard().len(), 30);
+    }
+}

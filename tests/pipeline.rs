@@ -1,0 +1,70 @@
+//! End-to-end pipeline tests across crates: trace → overlay → streaming
+//! system → source switch, driven through the public facade.
+
+use fast_source_switching::gossip::{GossipConfig, StreamingSystem};
+use fast_source_switching::overlay::{OverlayBuilder, PeerId};
+use fast_source_switching::prelude::*;
+use fast_source_switching::trace::{parser, TraceGenerator};
+
+#[test]
+fn trace_round_trips_and_builds_a_streaming_overlay() {
+    // Generate a synthetic crawl, serialise it like a clip2 dump, re-parse it
+    // and build the overlay from the parsed copy.
+    let trace = TraceGenerator::new(GeneratorConfig::sized(150, 42)).generate("pipeline");
+    let text = parser::to_text(&trace);
+    let parsed = parser::from_text(&text).expect("trace parses back");
+    assert_eq!(parsed.node_count(), 150);
+
+    let overlay = OverlayBuilder::paper_default()
+        .build(&parsed)
+        .expect("overlay builds");
+    assert_eq!(overlay.active_count(), 150);
+    assert!(overlay.graph().min_degree().unwrap() >= 5, "paper's M = 5 rule");
+}
+
+#[test]
+fn full_switch_through_the_facade_completes_with_both_algorithms() {
+    for algorithm in [Algorithm::Fast, Algorithm::Normal] {
+        let trace = TraceGenerator::new(GeneratorConfig::sized(90, 3)).generate("facade");
+        let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+        let peers: Vec<PeerId> = overlay.active_peers().collect();
+
+        let mut system =
+            StreamingSystem::new(overlay, GossipConfig::paper_default(), algorithm.scheduler());
+        system.start_initial_source(peers[0]);
+        system.run_periods(25);
+        system.switch_source(peers[40]);
+        let executed = system.run_until_switched(200);
+        assert!(executed < 200, "{:?} switch never completed", algorithm);
+
+        let report = system.report();
+        assert!(report.switch_completed_secs.is_some());
+        let summary = SwitchSummary::from_records(&report.switch_records);
+        assert!(summary.completion_rate() > 0.999);
+        assert!(summary.avg_switch_time_secs() > 0.0);
+        assert!(summary.avg_finish_old_secs >= 0.0);
+        // The communication overhead stays in the paper's ~1 % ballpark.
+        let overhead = report.traffic_switch_window.overhead();
+        assert!(overhead > 0.002 && overhead < 0.08, "overhead {overhead}");
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_results() {
+    let config = ScenarioConfig::quick(70, Algorithm::Fast, Environment::Static);
+    let a = run_scenario(&config);
+    let b = run_scenario(&config);
+    assert_eq!(a.switch, b.switch);
+    assert_eq!(a.overhead, b.overhead);
+    assert_eq!(a.ratio_track, b.ratio_track);
+}
+
+#[test]
+fn catalog_topologies_feed_the_simulator() {
+    let catalog = TraceCatalog::standard();
+    let spec = catalog.by_name("clip2-synth-100-a").expect("catalog entry");
+    let trace = spec.generate();
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    assert_eq!(overlay.active_count(), 100);
+    assert_eq!(overlay.name, "clip2-synth-100-a");
+}
