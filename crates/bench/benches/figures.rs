@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fss_experiments::figures::{sweeps, tracks};
-use fss_experiments::{
-    run_comparison, sweep_sizes, Algorithm, Environment, ScenarioConfig,
-};
+use fss_experiments::{run_comparison, sweep_sizes, Algorithm, Environment, ScenarioConfig};
 
 const TRACK_NODES: usize = 80;
 const SWEEP_SIZES: [usize; 2] = [60, 100];

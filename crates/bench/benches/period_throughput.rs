@@ -1,0 +1,62 @@
+//! End-to-end period throughput on a 1000-node overlay in steady state.
+//!
+//! Benchmarks one full scheduling period (buffer-map exchange, discovery,
+//! context building, scheduling, transfer resolution, delivery, playback)
+//! through:
+//!
+//! * `reference_period` — the original straight-line implementation
+//!   (`step_reference`): fresh allocations, per-id neighbour probing,
+//!   map-based transfer resolution;
+//! * `optimized_period` — the scratch-arena hot path (`step`): zero
+//!   steady-state allocation, dense PeerId indexing, word-level bitset
+//!   candidate intersection.
+//!
+//! The measured periods/second ratio is recorded in `BENCH_period.json`
+//! (acceptance target: ≥ 2×).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fss_core::FastSwitchScheduler;
+use fss_gossip::{GossipConfig, StreamingSystem};
+use fss_overlay::OverlayBuilder;
+use fss_trace::{GeneratorConfig, TraceGenerator};
+
+const NODES: usize = 1_000;
+const WARMUP_PERIODS: u64 = 60;
+
+/// Builds a 1k-node system streamed to steady state.
+fn steady_system(seed: u64) -> StreamingSystem {
+    let trace = TraceGenerator::new(GeneratorConfig::sized(NODES, seed)).generate("throughput");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.start_initial_source(source);
+    sys.run_periods(WARMUP_PERIODS);
+    sys
+}
+
+fn bench_period_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("period_throughput");
+    group.sample_size(10);
+
+    let mut sys = steady_system(1);
+    group.bench_function("reference_period_1k", |b| b.iter(|| sys.step_reference()));
+
+    let mut sys = steady_system(1);
+    group.bench_function("optimized_period_1k", |b| b.iter(|| sys.step()));
+
+    #[cfg(feature = "parallel")]
+    {
+        let mut sys = steady_system(1);
+        sys.set_parallelism(std::thread::available_parallelism().map_or(2, |n| n.get()));
+        group.bench_function("optimized_period_1k_parallel", |b| b.iter(|| sys.step()));
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_period_throughput);
+criterion_main!(benches);

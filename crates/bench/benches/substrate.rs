@@ -3,8 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fss_gossip::{
-    BufferMap, CapacityModel, FifoBuffer, RequestBatch, SegmentId, SegmentRequest,
-    TransferResolver,
+    BufferMap, CapacityModel, FifoBuffer, RequestBatch, SegmentId, SegmentRequest, TransferResolver,
 };
 
 fn full_buffer() -> FifoBuffer {
@@ -63,11 +62,11 @@ fn bench_transfer(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("transfer");
     group.bench_function("resolve_shared_200x15", |b| {
-        let resolver = TransferResolver::with_model(CapacityModel::Shared);
+        let mut resolver = TransferResolver::with_model(CapacityModel::Shared);
         b.iter(|| resolver.resolve_round(black_box(&batches), |_| 15, 3))
     });
     group.bench_function("resolve_per_link_200x15", |b| {
-        let resolver = TransferResolver::with_model(CapacityModel::PerLink);
+        let mut resolver = TransferResolver::with_model(CapacityModel::PerLink);
         b.iter(|| resolver.resolve_round(black_box(&batches), |_| 15, 3))
     });
     group.finish();

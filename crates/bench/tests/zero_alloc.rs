@@ -1,0 +1,82 @@
+//! Asserts the tentpole property: after warm-up, the steady-state period
+//! loop performs **zero heap allocations** — every buffer lives in the
+//! reused scratch arena.
+//!
+//! A counting wrapper around the system allocator tallies every allocation
+//! on this test binary; the test warms a 300-node system until all scratch
+//! buffers, pools and hash maps have reached their high-water marks, then
+//! runs further periods with the counter armed.
+
+use fss_core::FastSwitchScheduler;
+use fss_gossip::{GossipConfig, StreamingSystem};
+use fss_overlay::OverlayBuilder;
+use fss_trace::{GeneratorConfig, TraceGenerator};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_period_loop_does_not_allocate() {
+    let trace = TraceGenerator::new(GeneratorConfig::sized(300, 21)).generate("zero-alloc");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.start_initial_source(source);
+
+    // Warm-up: playback starts, buffers fill to capacity (evictions begin),
+    // scratch arenas, pools and hash maps reach their steady capacities.
+    sys.run_periods(80);
+
+    let before = allocations();
+    sys.run_periods(20);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state periods allocated {during} times; the scratch arena must absorb all working memory"
+    );
+
+    // Sanity: the system is actually doing work, not idling.
+    let report = sys.report();
+    assert_eq!(report.periods, 100);
+    assert!(report.traffic_total.data_bits > 0);
+
+    // The reference implementation allocates heavily — confirming the
+    // counter actually observes the loop.
+    let before = allocations();
+    sys.run_periods_reference(1);
+    assert!(
+        allocations() - before > 100,
+        "reference path should allocate (counter sanity check)"
+    );
+}

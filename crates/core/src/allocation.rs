@@ -73,8 +73,16 @@ pub fn allocate_rates(
 
     let (i1, i2, case) = match (r1 <= o1, r2 <= o2) {
         (true, true) => (r1, r2, AllocationCase::Ideal),
-        (true, false) => (o1.min(budget - o2.min(budget)), o2, AllocationCase::NewLimited),
-        (false, true) => (o1, o2.min(budget - o1.min(budget)), AllocationCase::OldLimited),
+        (true, false) => (
+            o1.min(budget - o2.min(budget)),
+            o2,
+            AllocationCase::NewLimited,
+        ),
+        (false, true) => (
+            o1,
+            o2.min(budget - o1.min(budget)),
+            AllocationCase::OldLimited,
+        ),
         (false, false) => (o1, o2, AllocationCase::BothLimited),
     };
 

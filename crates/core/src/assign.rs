@@ -14,10 +14,10 @@
 //! provides an exact solver for tiny instances to measure the gap.
 
 use crate::priority::{priority, SegmentPriority};
+use fss_gossip::hasher::FxHashMap;
 use fss_gossip::{SchedulingContext, SegmentId, StreamClass};
 use fss_overlay::PeerId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// How candidates are ordered before the greedy pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,7 +47,7 @@ pub struct AssignedSegment {
 }
 
 /// The ordered schedulable sets produced by the greedy pass.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AssignmentOutcome {
     /// `O1`: schedulable old-source segments, highest priority first.
     pub old: Vec<AssignedSegment>,
@@ -69,40 +69,75 @@ impl AssignmentOutcome {
     }
 }
 
+/// Reusable working state of the greedy pass.
+///
+/// The period hot path runs `greedy_assign` for every node every period;
+/// keeping the score buffer, the per-supplier queue map and the outcome
+/// vectors alive across calls makes the pass allocation-free after warm-up.
+#[derive(Debug, Default)]
+pub struct AssignScratch {
+    scored: Vec<(usize, SegmentPriority, StreamClass)>,
+    /// Per-supplier queued transfer time; probed once per (candidate,
+    /// supplier) pair per node per period, hence the fixed fast hasher.
+    queue: FxHashMap<PeerId, f64>,
+    /// The outcome of the most recent [`greedy_assign_into`] call.
+    pub outcome: AssignmentOutcome,
+}
+
 /// Runs the greedy supplier assignment over a scheduling context.
 pub fn greedy_assign(ctx: &SchedulingContext, order: AssignmentOrder) -> AssignmentOutcome {
-    // Score every candidate.
-    let mut scored: Vec<(usize, SegmentPriority, StreamClass)> = ctx
-        .candidates
-        .iter()
-        .enumerate()
-        .map(|(idx, c)| (idx, priority(ctx, c), ctx.class_of(c.id)))
-        .collect();
+    let mut scratch = AssignScratch::default();
+    greedy_assign_into(ctx, order, &mut scratch);
+    scratch.outcome
+}
 
-    // Order the greedy pass.
-    scored.sort_by(|a, b| {
+/// Allocation-free variant of [`greedy_assign`]: results land in
+/// `scratch.outcome`, whose buffers are reused across calls.
+pub fn greedy_assign_into(
+    ctx: &SchedulingContext,
+    order: AssignmentOrder,
+    scratch: &mut AssignScratch,
+) {
+    // Score every candidate.
+    scratch.scored.clear();
+    scratch.scored.extend(
+        ctx.candidates
+            .iter()
+            .enumerate()
+            .map(|(idx, c)| (idx, priority(ctx, c), ctx.class_of(c.id))),
+    );
+
+    // Order the greedy pass.  Candidate ids are unique, so the key is a
+    // total order and the (allocation-free) unstable sort is deterministic.
+    scratch.scored.sort_unstable_by(|a, b| {
         let class_rank = |class: StreamClass| match class {
             StreamClass::Old => 0u8,
             StreamClass::New => 1u8,
         };
-        let key_a = (class_rank(a.2), std::cmp::Reverse(ordered(a.1.priority)), ctx.candidates[a.0].id);
-        let key_b = (class_rank(b.2), std::cmp::Reverse(ordered(b.1.priority)), ctx.candidates[b.0].id);
+        let key_a = (
+            class_rank(a.2),
+            std::cmp::Reverse(ordered(a.1.priority)),
+            ctx.candidates[a.0].id,
+        );
+        let key_b = (
+            class_rank(b.2),
+            std::cmp::Reverse(ordered(b.1.priority)),
+            ctx.candidates[b.0].id,
+        );
         match order {
             AssignmentOrder::OldSourceFirst => key_a.cmp(&key_b),
-            AssignmentOrder::ByPriority => {
-                (key_a.1, key_a.2).cmp(&(key_b.1, key_b.2))
-            }
+            AssignmentOrder::ByPriority => (key_a.1, key_a.2).cmp(&(key_b.1, key_b.2)),
         }
     });
 
     // Greedy earliest-finish supplier choice with per-supplier queuing.
-    let mut queue: HashMap<PeerId, f64> = HashMap::new();
-    let mut outcome = AssignmentOutcome {
-        old: Vec::new(),
-        new: Vec::new(),
-        skipped: 0,
-    };
-    for (idx, priority, class) in scored {
+    scratch.queue.clear();
+    let queue = &mut scratch.queue;
+    let outcome = &mut scratch.outcome;
+    outcome.old.clear();
+    outcome.new.clear();
+    outcome.skipped = 0;
+    for &(idx, priority, class) in &scratch.scored {
         let candidate = &ctx.candidates[idx];
         let mut best: Option<(f64, PeerId)> = None;
         for supplier in &candidate.suppliers {
@@ -111,7 +146,7 @@ pub fn greedy_assign(ctx: &SchedulingContext, order: AssignmentOrder) -> Assignm
             }
             let t_trans = 1.0 / supplier.rate;
             let finish = t_trans + queue.get(&supplier.peer).copied().unwrap_or(0.0);
-            if finish < ctx.tau_secs && best.map_or(true, |(b, _)| finish < b) {
+            if finish < ctx.tau_secs && best.is_none_or(|(b, _)| finish < b) {
                 best = Some((finish, supplier.peer));
             }
         }
@@ -133,7 +168,6 @@ pub fn greedy_assign(ctx: &SchedulingContext, order: AssignmentOrder) -> Assignm
             None => outcome.skipped += 1,
         }
     }
-    outcome
 }
 
 /// Total-orders an `f64` priority (NaN cannot occur: priorities are built
@@ -162,7 +196,8 @@ mod ordered_float {
     #[allow(clippy::derive_ord_xor_partial_ord)]
     impl Ord for NotNan {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.partial_cmp(other).expect("NotNan values always compare")
+            self.partial_cmp(other)
+                .expect("NotNan values always compare")
         }
     }
 }
@@ -171,6 +206,7 @@ mod ordered_float {
 mod tests {
     use super::*;
     use fss_gossip::{CandidateSegment, SessionView, SourceId, SupplierInfo};
+    use std::collections::HashMap;
 
     fn supplier(peer: u32, rate: f64, position: usize) -> SupplierInfo {
         SupplierInfo {
@@ -323,7 +359,11 @@ mod tests {
         assert_eq!(normal.skipped, 1);
 
         let fast = greedy_assign(&ctx, AssignmentOrder::ByPriority);
-        assert_eq!(fast.available_new(), 1, "rare new segment outranks an old one");
+        assert_eq!(
+            fast.available_new(),
+            1,
+            "rare new segment outranks an old one"
+        );
         assert_eq!(fast.available_old(), 1);
         assert_eq!(fast.skipped, 1);
     }

@@ -18,9 +18,9 @@
 //! protocol does anyway.
 
 use crate::allocation::allocate_rates;
-use crate::assign::{greedy_assign, AssignedSegment, AssignmentOrder};
+use crate::assign::{greedy_assign_into, AssignScratch, AssignedSegment, AssignmentOrder};
 use crate::model::SwitchModel;
-use fss_gossip::{SchedulingContext, SegmentRequest, SegmentScheduler};
+use fss_gossip::{SchedulerScratch, SchedulingContext, SegmentRequest, SegmentScheduler};
 
 /// The paper's proposed scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,23 +33,54 @@ impl FastSwitchScheduler {
     }
 }
 
-/// Merges the selected old/new segments into one request list ordered by
-/// decreasing priority.
-fn merge_by_priority(old: &[AssignedSegment], new: &[AssignedSegment]) -> Vec<SegmentRequest> {
-    let mut all: Vec<&AssignedSegment> = old.iter().chain(new.iter()).collect();
-    all.sort_by(|a, b| {
+/// Reusable per-worker state of the fast scheduler.
+#[derive(Debug, Default)]
+struct FastScratch {
+    assign: AssignScratch,
+    /// Merge order: indices into the old set, or into the new set with the
+    /// high bit set.
+    merged: Vec<u32>,
+}
+
+const NEW_FLAG: u32 = 1 << 31;
+
+/// Merges the selected old/new segments into `out` ordered by decreasing
+/// priority (ties broken by ascending id), emitting at most `limit` requests.
+fn merge_by_priority_into(
+    old: &[AssignedSegment],
+    new: &[AssignedSegment],
+    order: &mut Vec<u32>,
+    out: &mut Vec<SegmentRequest>,
+    limit: usize,
+) {
+    order.clear();
+    order.extend((0..old.len()).map(|i| i as u32));
+    order.extend((0..new.len()).map(|i| i as u32 | NEW_FLAG));
+    let segment_of = |key: u32| -> &AssignedSegment {
+        if key & NEW_FLAG != 0 {
+            &new[(key & !NEW_FLAG) as usize]
+        } else {
+            &old[key as usize]
+        }
+    };
+    // Ids are unique, so the key is total and the unstable sort
+    // deterministic.
+    order.sort_unstable_by(|&x, &y| {
+        let a = segment_of(x);
+        let b = segment_of(y);
         b.priority
             .priority
             .partial_cmp(&a.priority.priority)
             .expect("priorities are finite")
             .then(a.id.cmp(&b.id))
     });
-    all.into_iter()
-        .map(|a| SegmentRequest {
+    out.extend(order.iter().take(limit).map(|&key| {
+        let a = segment_of(key);
+        SegmentRequest {
             segment: a.id,
             supplier: a.supplier,
-        })
-        .collect()
+        }
+    }));
 }
 
 impl SegmentScheduler for FastSwitchScheduler {
@@ -58,16 +89,31 @@ impl SegmentScheduler for FastSwitchScheduler {
     }
 
     fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest> {
+        let mut scratch = SchedulerScratch::new();
+        let mut out = Vec::new();
+        self.schedule_into(ctx, &mut scratch, &mut out);
+        out
+    }
+
+    fn schedule_into(
+        &self,
+        ctx: &SchedulingContext,
+        scratch: &mut SchedulerScratch,
+        out: &mut Vec<SegmentRequest>,
+    ) {
+        out.clear();
         let budget = ctx.inbound_budget();
         if budget == 0 || ctx.candidates.is_empty() {
-            return Vec::new();
+            return;
         }
-        let outcome = greedy_assign(ctx, AssignmentOrder::ByPriority);
+        let scratch: &mut FastScratch = scratch.get_or_default();
+        greedy_assign_into(ctx, AssignmentOrder::ByPriority, &mut scratch.assign);
+        let outcome = &scratch.assign.outcome;
 
         // Only one stream has anything schedulable: plain priority retrieval.
         if outcome.old.is_empty() || outcome.new.is_empty() || !ctx.switch_in_progress() {
-            let merged = merge_by_priority(&outcome.old, &outcome.new);
-            return merged.into_iter().take(budget).collect();
+            merge_by_priority_into(&outcome.old, &outcome.new, &mut scratch.merged, out, budget);
+            return;
         }
 
         // Ideal split, clamped by the four-case rule.
@@ -87,17 +133,22 @@ impl SegmentScheduler for FastSwitchScheduler {
             ctx.tau_secs,
         );
 
-        merge_by_priority(
+        merge_by_priority_into(
             &outcome.old[..allocation.old_segments],
             &outcome.new[..allocation.new_segments],
-        )
+            &mut scratch.merged,
+            out,
+            usize::MAX,
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fss_gossip::{CandidateSegment, SegmentId, SessionView, SourceId, StreamClass, SupplierInfo};
+    use fss_gossip::{
+        CandidateSegment, SegmentId, SessionView, SourceId, StreamClass, SupplierInfo,
+    };
 
     fn supplier(peer: u32, rate: f64, position: usize) -> SupplierInfo {
         SupplierInfo {
@@ -166,8 +217,16 @@ mod tests {
         // The split follows the model: with Q1 = 60, Q2 = 50, Q = 10, p = 10,
         // I = 15 the ideal r1 ≈ 9.27, so roughly 9 old and 6 new.
         let split = SwitchModel::new(60.0, 50.0, 10.0, 10.0, 15.0).optimal_split();
-        assert!((old as f64 - split.r1).abs() <= 1.0, "old={old} r1={}", split.r1);
-        assert!((new as f64 - split.r2).abs() <= 1.0, "new={new} r2={}", split.r2);
+        assert!(
+            (old as f64 - split.r1).abs() <= 1.0,
+            "old={old} r1={}",
+            split.r1
+        );
+        assert!(
+            (new as f64 - split.r2).abs() <= 1.0,
+            "new={new} r2={}",
+            split.r2
+        );
     }
 
     #[test]

@@ -29,9 +29,12 @@ pub mod optimal;
 pub mod priority;
 
 pub use allocation::{allocate_rates, RateAllocation};
-pub use assign::{greedy_assign, AssignedSegment, AssignmentOrder, AssignmentOutcome};
+pub use assign::{
+    greedy_assign, greedy_assign_into, AssignScratch, AssignedSegment, AssignmentOrder,
+    AssignmentOutcome,
+};
 pub use fast::FastSwitchScheduler;
 pub use model::{optimal_split, SwitchModel, SwitchSplit};
 pub use normal::NormalSwitchScheduler;
 pub use optimal::{optimal_assign, OptimalAssignment};
-pub use priority::{priority, rarity, traditional_rarity, urgency, SegmentPriority};
+pub use priority::{priority, rarity, rarity_of, traditional_rarity, urgency, SegmentPriority};

@@ -10,8 +10,8 @@
 //! differs only in the allocation rule: the old source always gets absolute
 //! priority, i.e. `I1 = min(O1, I)` and `I2 = min(O2, I − I1)`.
 
-use crate::assign::{greedy_assign, AssignmentOrder};
-use fss_gossip::{SchedulingContext, SegmentRequest, SegmentScheduler};
+use crate::assign::{greedy_assign_into, AssignScratch, AssignmentOrder};
+use fss_gossip::{SchedulerScratch, SchedulingContext, SegmentRequest, SegmentScheduler};
 
 /// The baseline scheduler the paper compares against.
 #[derive(Debug, Clone, Copy, Default)]
@@ -30,23 +30,39 @@ impl SegmentScheduler for NormalSwitchScheduler {
     }
 
     fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest> {
+        let mut scratch = SchedulerScratch::new();
+        let mut out = Vec::new();
+        self.schedule_into(ctx, &mut scratch, &mut out);
+        out
+    }
+
+    fn schedule_into(
+        &self,
+        ctx: &SchedulingContext,
+        scratch: &mut SchedulerScratch,
+        out: &mut Vec<SegmentRequest>,
+    ) {
+        out.clear();
         let budget = ctx.inbound_budget();
         if budget == 0 || ctx.candidates.is_empty() {
-            return Vec::new();
+            return;
         }
-        let outcome = greedy_assign(ctx, AssignmentOrder::OldSourceFirst);
+        let scratch: &mut AssignScratch = scratch.get_or_default();
+        greedy_assign_into(ctx, AssignmentOrder::OldSourceFirst, scratch);
+        let outcome = &scratch.outcome;
         let old_take = outcome.available_old().min(budget);
         let new_take = outcome.available_new().min(budget - old_take);
-        outcome
-            .old
-            .iter()
-            .take(old_take)
-            .chain(outcome.new.iter().take(new_take))
-            .map(|a| SegmentRequest {
-                segment: a.id,
-                supplier: a.supplier,
-            })
-            .collect()
+        out.extend(
+            outcome
+                .old
+                .iter()
+                .take(old_take)
+                .chain(outcome.new.iter().take(new_take))
+                .map(|a| SegmentRequest {
+                    segment: a.id,
+                    supplier: a.supplier,
+                }),
+        );
     }
 }
 
@@ -190,6 +206,9 @@ mod tests {
             .iter()
             .filter(|r| ctx.class_of(r.segment) == StreamClass::New)
             .count();
-        assert!(fast_new >= 2, "fast interleaves at least as many new segments");
+        assert!(
+            fast_new >= 2,
+            "fast interleaves at least as many new segments"
+        );
     }
 }

@@ -205,7 +205,7 @@ mod tests {
         // A small family of deterministic instances.
         for seed in 0..20u64 {
             let mut candidates = Vec::new();
-            let n = 2 + (seed % 5) as u64;
+            let n = 2 + seed % 5;
             for k in 0..n {
                 let mut suppliers = Vec::new();
                 for s in 0..=(seed + k) % 3 {

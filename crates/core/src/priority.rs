@@ -46,19 +46,27 @@ pub fn urgency(deadline_secs: f64, max_rate: f64) -> f64 {
 /// Rarity of a segment (eq. 8): the product over suppliers of
 /// `position / capacity`.
 pub fn rarity(positions: &[(usize, usize)]) -> f64 {
-    if positions.is_empty() {
-        return 1.0;
+    rarity_of(positions.iter().copied())
+}
+
+/// Iterator form of [`rarity`], used by the allocation-free hot path.
+/// An empty iterator yields 1.0 (an unsupplied segment is maximally rare).
+pub fn rarity_of(positions: impl Iterator<Item = (usize, usize)>) -> f64 {
+    let mut product = 1.0;
+    let mut any = false;
+    for (position, capacity) in positions {
+        any = true;
+        product *= if capacity == 0 {
+            1.0
+        } else {
+            (position as f64 / capacity as f64).clamp(0.0, 1.0)
+        };
     }
-    positions
-        .iter()
-        .map(|&(position, capacity)| {
-            if capacity == 0 {
-                1.0
-            } else {
-                (position as f64 / capacity as f64).clamp(0.0, 1.0)
-            }
-        })
-        .product()
+    if any {
+        product
+    } else {
+        1.0
+    }
 }
 
 /// The traditional rarity the paper compares against (`1/n_i`); kept for the
@@ -72,16 +80,19 @@ pub fn traditional_rarity(supplier_count: usize) -> f64 {
 }
 
 /// Full priority of a candidate segment within a scheduling context (eq. 9).
+///
+/// Runs once per candidate per node per period, so it must not allocate:
+/// the rarity product streams through [`rarity_of`] instead of collecting
+/// the positions.
 pub fn priority(ctx: &SchedulingContext, candidate: &CandidateSegment) -> SegmentPriority {
-    let deadline_secs =
-        (candidate.id.value() as f64 - ctx.id_play.value() as f64) / ctx.play_rate;
+    let deadline_secs = (candidate.id.value() as f64 - ctx.id_play.value() as f64) / ctx.play_rate;
     let urgency = urgency(deadline_secs, candidate.max_rate());
-    let positions: Vec<(usize, usize)> = candidate
-        .suppliers
-        .iter()
-        .map(|s| (s.buffer_position, s.buffer_capacity))
-        .collect();
-    let rarity = rarity(&positions);
+    let rarity = rarity_of(
+        candidate
+            .suppliers
+            .iter()
+            .map(|s| (s.buffer_position, s.buffer_capacity)),
+    );
     SegmentPriority {
         urgency,
         rarity,

@@ -40,15 +40,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--quick" => options.scale = FigureScale::Quick,
             "--csv" => options.csv = true,
             "--sizes" => {
-                let list = iter.next().ok_or("--sizes requires a comma-separated list")?;
+                let list = iter
+                    .next()
+                    .ok_or("--sizes requires a comma-separated list")?;
                 let sizes: Result<Vec<usize>, _> =
                     list.split(',').map(|s| s.trim().parse::<usize>()).collect();
                 options.sizes = Some(sizes.map_err(|e| format!("bad --sizes value: {e}"))?);
             }
             "--track-nodes" => {
                 let value = iter.next().ok_or("--track-nodes requires a number")?;
-                options.track_nodes =
-                    Some(value.parse().map_err(|e| format!("bad --track-nodes: {e}"))?);
+                options.track_nodes = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("bad --track-nodes: {e}"))?,
+                );
             }
             "--out" => {
                 let dir = iter.next().ok_or("--out requires a directory")?;
@@ -60,8 +65,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.environments = vec![Environment::Static, Environment::Dynamic];
             }
             "--help" | "-h" => {
-                return Err("usage: figures [--quick] [--out DIR] [--csv] [static|dynamic|all]"
-                    .to_string())
+                return Err(
+                    "usage: figures [--quick] [--out DIR] [--csv] [static|dynamic|all]".to_string(),
+                )
             }
             other => return Err(format!("unknown argument '{other}'")),
         }

@@ -102,7 +102,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
     //    left), keeping it topologically far from S1.
     system.start_initial_source(s1);
     system.run_periods(config.warmup_periods);
-    let active: Vec<PeerId> = system.overlay().active_peers().filter(|&p| p != s1).collect();
+    let active: Vec<PeerId> = system
+        .overlay()
+        .active_peers()
+        .filter(|&p| p != s1)
+        .collect();
     let s2 = active[active.len() / 2];
     system.switch_source(s2);
     let periods_after_switch = system.run_until_switched(config.max_switch_periods);

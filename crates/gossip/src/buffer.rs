@@ -7,18 +7,80 @@
 //! supplier's buffer measured as the distance from the buffer tail (the
 //! insertion end): a freshly inserted segment has position 1, the next
 //! segment to be evicted has position `len()`.
+//!
+//! # Hot-path representation
+//!
+//! The scheduling sweep probes buffers millions of times per simulated
+//! second, so membership and positions must be O(1) and steady-state
+//! operation must neither allocate nor rebuild anything per period:
+//!
+//! * `arrivals` is a ring of at most `capacity` ids (allocated once);
+//! * availability lives in a **windowed bitmap** (`base` + `words`),
+//!   maintained incrementally on insert/evict.  The window slides with the
+//!   stream: when the head outgrows the words, dead all-zero leading words
+//!   are compacted away in place, so steady-state inserts never allocate.
+//!   This bitmap doubles as each peer's advertised buffer map — neighbours
+//!   intersect its words directly instead of probing ids one by one;
+//! * `seqs` stores, for every covered id, its **arrival sequence number**
+//!   (mod 2³²).  Because eviction always removes the oldest arrival and the
+//!   live sequence numbers form a contiguous range, `position_from_tail` is
+//!   a single subtraction: `next_seq − seq`;
+//! * the maximum held id is cached; it only needs recomputing when the
+//!   evicted segment *is* the maximum (an out-of-order tail, rare in
+//!   practice), which costs one reverse word scan and still no allocation.
+//!
+//! # Memory model
+//!
+//! The window costs O(span) bytes, where span = `max held id − min held id`
+//! (not O(capacity) like a tree/map index): ~9 bytes per id of span.  This
+//! is the right trade for streaming workloads, where FIFO eviction keeps
+//! the span within a few multiples of the buffer capacity.  Ids are **not**
+//! required to be contiguous, but they must be stream-local: inserting two
+//! ids further than [`MAX_SPAN_IDS`] apart panics with a diagnostic instead
+//! of silently attempting a giant allocation.
 
 use crate::segment::SegmentId;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
-/// FIFO buffer of segment ids with O(log B) membership queries.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Extra zero words appended on growth so the compaction/extension cycle
+/// amortises instead of running every few inserts.
+const GROWTH_SLACK_WORDS: usize = 4;
+
+/// Largest allowed distance between the smallest and largest held id.
+///
+/// The availability window costs O(span) memory (see the module docs); a
+/// span beyond this bound (4M ids ≈ 38 MB of window) almost certainly means
+/// the buffer is being fed non-stream ids, so we fail fast with a clear
+/// message rather than letting the allocator abort.
+pub const MAX_SPAN_IDS: u64 = 1 << 22;
+
+/// FIFO buffer of segment ids with O(1) membership and position queries and
+/// word-level availability access.
+#[derive(Debug, Clone, Default)]
 pub struct FifoBuffer {
     capacity: usize,
     /// Arrival order, oldest at the front.
     arrivals: VecDeque<SegmentId>,
-    /// Membership index.
-    present: BTreeSet<SegmentId>,
+    /// First id covered by the bitmap; always a multiple of 64.
+    base: u64,
+    /// Availability bits over `[base, base + 64·words.len())`.
+    words: Vec<u64>,
+    /// Arrival sequence number per covered id (valid only where the
+    /// availability bit is set).
+    seqs: Vec<u32>,
+    /// Sequence number the next insert will receive.
+    next_seq: u32,
+    /// Cached greatest held id.
+    max: Option<SegmentId>,
+}
+
+impl PartialEq for FifoBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        // Two buffers are equal when they would behave identically: same
+        // capacity and same segments in the same arrival order.  The bitmap
+        // window placement is an implementation detail.
+        self.capacity == other.capacity && self.arrivals == other.arrivals
+    }
 }
 
 impl FifoBuffer {
@@ -31,7 +93,11 @@ impl FifoBuffer {
         FifoBuffer {
             capacity,
             arrivals: VecDeque::with_capacity(capacity),
-            present: BTreeSet::new(),
+            base: 0,
+            words: Vec::new(),
+            seqs: Vec::new(),
+            next_seq: 0,
+            max: None,
         }
     }
 
@@ -50,26 +116,146 @@ impl FifoBuffer {
         self.arrivals.is_empty()
     }
 
+    fn offset_of(&self, id: u64) -> Option<usize> {
+        if id < self.base {
+            return None;
+        }
+        let offset = (id - self.base) as usize;
+        if offset < self.words.len() * 64 {
+            Some(offset)
+        } else {
+            None
+        }
+    }
+
     /// True when `segment` is currently held.
     pub fn contains(&self, segment: SegmentId) -> bool {
-        self.present.contains(&segment)
+        match self.offset_of(segment.value()) {
+            Some(offset) => (self.words[offset / 64] >> (offset % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// The 64 availability bits covering `[aligned, aligned + 63]`
+    /// (`aligned` must be a multiple of 64; ids outside the window read 0).
+    ///
+    /// This is the peer's advertised buffer map, maintained incrementally:
+    /// neighbours intersect these words with their own "needed" windows to
+    /// enumerate candidate segments without per-id probing.
+    pub fn availability_word(&self, aligned: u64) -> u64 {
+        debug_assert_eq!(aligned % 64, 0);
+        if aligned < self.base {
+            return 0;
+        }
+        self.words
+            .get(((aligned - self.base) / 64) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Drops dead (all-zero) leading words, sliding the window base up.
+    fn compact_leading_zeros(&mut self) {
+        let zeros = self.words.iter().take_while(|&&w| w == 0).count();
+        if zeros == 0 || zeros == self.words.len() {
+            return;
+        }
+        let len = self.words.len();
+        self.words.copy_within(zeros..len, 0);
+        self.words.truncate(len - zeros);
+        self.seqs.copy_within(zeros * 64..len * 64, 0);
+        self.seqs.truncate((len - zeros) * 64);
+        self.base += (zeros as u64) * 64;
+    }
+
+    /// Grows/slides the window so `id` is covered.
+    ///
+    /// # Panics
+    /// Panics when covering `id` would stretch the window beyond
+    /// [`MAX_SPAN_IDS`].
+    fn ensure_covered(&mut self, id: u64) {
+        if self.words.is_empty() {
+            self.base = id & !63;
+            self.words.resize(1 + GROWTH_SLACK_WORDS, 0);
+            self.seqs.resize((1 + GROWTH_SLACK_WORDS) * 64, 0);
+            return;
+        }
+        if id < self.base {
+            // Out-of-order arrival below the window: prepend words.
+            assert!(
+                self.base + self.words.len() as u64 * 64 - (id & !63) <= MAX_SPAN_IDS,
+                "FifoBuffer id span would exceed {MAX_SPAN_IDS} ids (inserting {id} below window base {}); \
+                 this buffer is designed for stream-local segment ids",
+                self.base
+            );
+            let new_base = id & !63;
+            let shift = ((self.base - new_base) / 64) as usize;
+            let old_len = self.words.len();
+            self.words.resize(old_len + shift, 0);
+            self.words.copy_within(0..old_len, shift);
+            self.words[..shift].fill(0);
+            self.seqs.resize((old_len + shift) * 64, 0);
+            self.seqs.copy_within(0..old_len * 64, shift * 64);
+            self.seqs[..shift * 64].fill(0);
+            self.base = new_base;
+            return;
+        }
+        let needed = ((id - self.base) / 64) as usize + 1;
+        if needed <= self.words.len() {
+            return;
+        }
+        // Reclaim dead leading words before growing; in steady state the
+        // window slides with the stream and this avoids any allocation.
+        self.compact_leading_zeros();
+        let needed = ((id - self.base) / 64) as usize + 1;
+        if needed > self.words.len() {
+            assert!(
+                (needed as u64) * 64 <= MAX_SPAN_IDS,
+                "FifoBuffer id span would exceed {MAX_SPAN_IDS} ids (inserting {id} with window base {}); \
+                 this buffer is designed for stream-local segment ids",
+                self.base
+            );
+            self.words.resize(needed + GROWTH_SLACK_WORDS, 0);
+            self.seqs.resize((needed + GROWTH_SLACK_WORDS) * 64, 0);
+        }
+    }
+
+    fn recompute_max(&mut self) {
+        self.max = None;
+        for (i, &word) in self.words.iter().enumerate().rev() {
+            if word != 0 {
+                let top = 63 - word.leading_zeros() as u64;
+                self.max = Some(SegmentId(self.base + (i as u64) * 64 + top));
+                return;
+            }
+        }
     }
 
     /// Inserts a segment.  Returns the evicted segment if the buffer was full,
     /// or `None`.  Re-inserting an already-held segment is a no-op.
     pub fn insert(&mut self, segment: SegmentId) -> Option<SegmentId> {
-        if self.present.contains(&segment) {
+        if self.contains(segment) {
             return None;
         }
         let evicted = if self.arrivals.len() == self.capacity {
             let old = self.arrivals.pop_front().expect("non-empty when full");
-            self.present.remove(&old);
+            let offset = self.offset_of(old.value()).expect("held ids are covered");
+            self.words[offset / 64] &= !(1 << (offset % 64));
+            if self.max == Some(old) {
+                self.recompute_max();
+            }
             Some(old)
         } else {
             None
         };
+        self.ensure_covered(segment.value());
+        let offset = (segment.value() - self.base) as usize;
+        self.words[offset / 64] |= 1 << (offset % 64);
+        self.seqs[offset] = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
         self.arrivals.push_back(segment);
-        self.present.insert(segment);
+        if self.max.is_none_or(|m| segment > m) {
+            self.max = Some(segment);
+        }
         evicted
     }
 
@@ -80,43 +266,33 @@ impl FifoBuffer {
     /// This is the `p_ij` of Table 2: `p_ij / B` approximates the probability
     /// that the segment will soon be replaced in this buffer.
     pub fn position_from_tail(&self, segment: SegmentId) -> Option<usize> {
-        if !self.present.contains(&segment) {
+        let offset = self.offset_of(segment.value())?;
+        if (self.words[offset / 64] >> (offset % 64)) & 1 == 0 {
             return None;
         }
-        self.arrivals
-            .iter()
-            .rev()
-            .position(|&s| s == segment)
-            .map(|i| i + 1)
+        Some(self.next_seq.wrapping_sub(self.seqs[offset]) as usize)
     }
 
-    /// Positions of many segments at once (single scan of the buffer).
+    /// Positions of many segments at once.
     /// The result aligns with `segments`; `None` marks absent segments.
     pub fn positions_of(&self, segments: &[SegmentId]) -> Vec<Option<usize>> {
-        let mut result = vec![None; segments.len()];
-        // Only scan for the segments that are actually present.
-        let wanted: Vec<(usize, SegmentId)> = segments
+        segments
             .iter()
-            .enumerate()
-            .filter(|(_, s)| self.present.contains(s))
-            .map(|(i, &s)| (i, s))
-            .collect();
-        if wanted.is_empty() {
-            return result;
-        }
-        let lookup: std::collections::HashMap<SegmentId, usize> =
-            wanted.iter().map(|&(i, s)| (s, i)).collect();
-        for (pos_from_tail, &seg) in self.arrivals.iter().rev().enumerate() {
-            if let Some(&idx) = lookup.get(&seg) {
-                result[idx] = Some(pos_from_tail + 1);
-            }
-        }
-        result
+            .map(|&s| self.position_from_tail(s))
+            .collect()
     }
 
-    /// Iterator over held segment ids in ascending id order.
+    /// Iterator over held segment ids in ascending id order (no allocation:
+    /// walks the availability words).
     pub fn ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
-        self.present.iter().copied()
+        let base = self.base;
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &word)| BitIter {
+                word,
+                base: base + (i as u64) * 64,
+            })
     }
 
     /// Iterator over held segments in arrival order (oldest first).
@@ -124,12 +300,31 @@ impl FifoBuffer {
         self.arrivals.iter().copied()
     }
 
-    /// Number of held segments with ids in `[from, to]` (inclusive).
+    /// Number of held segments with ids in `[from, to]` (inclusive):
+    /// a popcount over the covered words.
     pub fn count_in_range(&self, from: SegmentId, to: SegmentId) -> usize {
-        if to < from {
+        if to < from || self.words.is_empty() {
             return 0;
         }
-        self.present.range(from..=to).count()
+        let lo = from.value().max(self.base);
+        let hi = to.value().min(self.base + self.words.len() as u64 * 64 - 1);
+        if hi < lo {
+            return 0;
+        }
+        let mut count = 0usize;
+        let mut word_base = lo & !63;
+        while word_base <= hi {
+            let mut word = self.availability_word(word_base);
+            if word_base < lo {
+                word &= u64::MAX << (lo - word_base);
+            }
+            if word_base + 63 > hi {
+                word &= u64::MAX >> (word_base + 63 - hi);
+            }
+            count += word.count_ones() as usize;
+            word_base += 64;
+        }
+        count
     }
 
     /// Ids in `[from, to]` (inclusive) that are **not** held.
@@ -137,34 +332,44 @@ impl FifoBuffer {
         if to < from {
             return Vec::new();
         }
-        let mut missing = Vec::new();
-        let mut held = self.present.range(from..=to).peekable();
-        for id in from.value()..=to.value() {
-            let id = SegmentId(id);
-            match held.peek() {
-                Some(&&h) if h == id => {
-                    held.next();
-                }
-                _ => missing.push(id),
-            }
-        }
-        missing
+        (from.value()..=to.value())
+            .map(SegmentId)
+            .filter(|&id| !self.contains(id))
+            .collect()
     }
 
     /// Length of the run of consecutively held segments starting at `from`.
     pub fn contiguous_run_from(&self, from: SegmentId) -> usize {
         let mut count = 0;
         let mut id = from;
-        while self.present.contains(&id) {
+        while self.contains(id) {
             count += 1;
             id = id.next();
         }
         count
     }
 
-    /// Greatest held id, if any.
+    /// Greatest held id, if any (O(1), cached).
     pub fn max_id(&self) -> Option<SegmentId> {
-        self.present.iter().next_back().copied()
+        self.max
+    }
+}
+
+/// Iterator over the set bits of one availability word.
+struct BitIter {
+    word: u64,
+    base: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = SegmentId;
+    fn next(&mut self) -> Option<SegmentId> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as u64;
+        self.word &= self.word - 1;
+        Some(SegmentId(self.base + bit))
     }
 }
 
@@ -230,6 +435,18 @@ mod tests {
     }
 
     #[test]
+    fn positions_survive_eviction() {
+        let mut b = FifoBuffer::new(4);
+        for i in 0..9 {
+            b.insert(SegmentId(i));
+        }
+        // Held: 5, 6, 7, 8 (oldest→newest).
+        assert_eq!(b.position_from_tail(SegmentId(8)), Some(1));
+        assert_eq!(b.position_from_tail(SegmentId(5)), Some(4));
+        assert_eq!(b.position_from_tail(SegmentId(4)), None);
+    }
+
+    #[test]
     fn positions_of_empty_query() {
         let b = FifoBuffer::new(4);
         assert!(b.positions_of(&[]).is_empty());
@@ -245,6 +462,7 @@ mod tests {
         assert_eq!(b.count_in_range(SegmentId(1), SegmentId(7)), 5);
         assert_eq!(b.count_in_range(SegmentId(4), SegmentId(5)), 0);
         assert_eq!(b.count_in_range(SegmentId(7), SegmentId(1)), 0);
+        assert_eq!(b.count_in_range(SegmentId(0), SegmentId(1_000_000)), 5);
         assert_eq!(b.missing_in_range(SegmentId(1), SegmentId(7)), ids(&[4, 5]));
         assert_eq!(b.missing_in_range(SegmentId(8), SegmentId(7)), ids(&[]));
         assert_eq!(b.contiguous_run_from(SegmentId(1)), 3);
@@ -252,6 +470,71 @@ mod tests {
         assert_eq!(b.contiguous_run_from(SegmentId(4)), 0);
         assert_eq!(b.max_id(), Some(SegmentId(7)));
         assert_eq!(FifoBuffer::new(3).max_id(), None);
+    }
+
+    #[test]
+    fn max_id_tracks_eviction_of_the_maximum() {
+        let mut b = FifoBuffer::new(3);
+        b.insert(SegmentId(9)); // max arrives first (oldest)
+        b.insert(SegmentId(3));
+        b.insert(SegmentId(5));
+        assert_eq!(b.max_id(), Some(SegmentId(9)));
+        // Evicting 9 (the oldest arrival AND the max) forces a recompute.
+        b.insert(SegmentId(4));
+        assert_eq!(b.max_id(), Some(SegmentId(5)));
+        assert!(!b.contains(SegmentId(9)));
+    }
+
+    #[test]
+    fn window_slides_with_the_stream() {
+        // Stream 100k ids through a small buffer: the bitmap window must
+        // track the live span instead of growing with the id space.
+        let mut b = FifoBuffer::new(64);
+        for i in 0..100_000u64 {
+            b.insert(SegmentId(i));
+        }
+        assert_eq!(b.len(), 64);
+        assert!(b.contains(SegmentId(99_999)));
+        assert!(!b.contains(SegmentId(99_935)));
+        assert_eq!(b.max_id(), Some(SegmentId(99_999)));
+        assert!(
+            b.words.len() <= 4 + 2 * GROWTH_SLACK_WORDS,
+            "window kept {} words for a 64-id span",
+            b.words.len()
+        );
+        // Positions still exact after 100k slides.
+        assert_eq!(b.position_from_tail(SegmentId(99_999)), Some(1));
+        assert_eq!(b.position_from_tail(SegmentId(99_936)), Some(64));
+    }
+
+    #[test]
+    fn availability_words_mirror_contents() {
+        let mut b = FifoBuffer::new(600);
+        for &i in &[3u64, 64, 65, 700, 1000] {
+            b.insert(SegmentId(i));
+        }
+        for aligned in (0..1100u64).step_by(64) {
+            let word = b.availability_word(aligned);
+            for bit in 0..64u64 {
+                assert_eq!(
+                    (word >> bit) & 1 == 1,
+                    b.contains(SegmentId(aligned + bit)),
+                    "aligned {aligned} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_low_arrival_rebases_the_window() {
+        let mut b = FifoBuffer::new(10);
+        b.insert(SegmentId(1_000));
+        b.insert(SegmentId(10));
+        assert!(b.contains(SegmentId(10)));
+        assert!(b.contains(SegmentId(1_000)));
+        assert_eq!(b.max_id(), Some(SegmentId(1_000)));
+        assert_eq!(b.position_from_tail(SegmentId(10)), Some(1));
+        assert_eq!(b.position_from_tail(SegmentId(1_000)), Some(2));
     }
 
     #[test]
@@ -268,6 +551,22 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = FifoBuffer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream-local segment ids")]
+    fn absurd_id_span_panics_instead_of_allocating() {
+        let mut b = FifoBuffer::new(4);
+        b.insert(SegmentId(0));
+        b.insert(SegmentId(1 << 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "stream-local segment ids")]
+    fn absurd_downward_span_panics_too() {
+        let mut b = FifoBuffer::new(4);
+        b.insert(SegmentId(1 << 40));
+        b.insert(SegmentId(0));
     }
 
     proptest::proptest! {
@@ -296,6 +595,15 @@ mod tests {
             positions.sort_unstable();
             let expected: Vec<usize> = (1..=b.len()).collect();
             proptest::prop_assert_eq!(positions, expected);
+            // The cached max matches a scan, ids are ascending, and counts
+            // agree with membership.
+            proptest::prop_assert_eq!(b.max_id(), b.ids().max());
+            let sorted: Vec<SegmentId> = b.ids().collect();
+            proptest::prop_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+            proptest::prop_assert_eq!(
+                b.count_in_range(SegmentId(0), SegmentId(500)),
+                b.len()
+            );
         }
     }
 }

@@ -82,10 +82,10 @@ impl GossipConfig {
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let err = |message: String| Err(ConfigError { message });
-        if !(self.tau_secs > 0.0) || !self.tau_secs.is_finite() {
+        if !self.tau_secs.is_finite() || self.tau_secs <= 0.0 {
             return err(format!("tau_secs {} must be positive", self.tau_secs));
         }
-        if !(self.play_rate > 0.0) || !self.play_rate.is_finite() {
+        if !self.play_rate.is_finite() || self.play_rate <= 0.0 {
             return err(format!("play_rate {} must be positive", self.play_rate));
         }
         if self.buffer_capacity == 0 {
@@ -149,7 +149,9 @@ mod tests {
         assert!(bad(|c| c.play_rate = -1.0).message.contains("play_rate"));
         assert!(bad(|c| c.buffer_capacity = 0).message.contains("buffer"));
         assert!(bad(|c| c.startup_q = 0).message.contains("startup_q"));
-        assert!(bad(|c| c.new_source_qs = 0).message.contains("new_source_qs"));
+        assert!(bad(|c| c.new_source_qs = 0)
+            .message
+            .contains("new_source_qs"));
         assert!(bad(|c| c.new_source_qs = 601).message.contains("exceed"));
         assert!(bad(|c| c.segment_bits = 0).message.contains("bits"));
     }

@@ -27,7 +27,10 @@
 //!   outbound and per-requester inbound budgets),
 //! * [`membership`] — neighbour-set repair under churn,
 //! * [`peer`] — per-node protocol state and context construction,
-//! * [`stats`] — traffic counters, switch records and ratio samples, and
+//! * [`stats`] — traffic counters, switch records and ratio samples,
+//! * [`scratch`] — the reusable per-period working memory (zero-allocation
+//!   hot path; see `docs/performance.md`),
+//! * [`hasher`] — deterministic hashing for hot-path maps, and
 //! * [`system`] — the complete period-synchronous streaming system.
 
 #![warn(missing_docs)]
@@ -35,10 +38,12 @@
 pub mod buffer;
 pub mod buffermap;
 pub mod config;
+pub mod hasher;
 pub mod membership;
 pub mod peer;
 pub mod playback;
 pub mod scheduler;
+pub mod scratch;
 pub mod segment;
 pub mod stats;
 pub mod system;
@@ -50,8 +55,8 @@ pub use config::GossipConfig;
 pub use peer::{NeighborInfo, PeerNode};
 pub use playback::{PlaybackPhase, PlaybackState};
 pub use scheduler::{
-    CandidateSegment, SchedulingContext, SegmentRequest, SegmentScheduler, SessionView,
-    StreamClass, SupplierInfo,
+    CandidateSegment, SchedulerScratch, SchedulingContext, SegmentRequest, SegmentScheduler,
+    SessionView, StreamClass, SupplierInfo,
 };
 pub use segment::{SegmentId, Session, SessionDirectory, SourceId};
 pub use stats::{RatioSample, SwitchRecord, TrafficCounters};

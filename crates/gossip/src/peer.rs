@@ -105,11 +105,7 @@ impl PeerNode {
     /// Undelivered segments of `session` that the node still needs, i.e. ids
     /// in `[max(id_play, first), end]` missing from its buffer.  `end` falls
     /// back to `fallback_end` for a live session.
-    pub fn undelivered_in_session(
-        &self,
-        session: &Session,
-        fallback_end: SegmentId,
-    ) -> usize {
+    pub fn undelivered_in_session(&self, session: &Session, fallback_end: SegmentId) -> usize {
         let end = session.last_segment.unwrap_or(fallback_end);
         let start = self.id_play().max(session.first_segment);
         if end < start {

@@ -105,12 +105,7 @@ impl PlaybackState {
     /// not played even if present (the caller uses this to gate a new source
     /// whose startup condition is not yet satisfied).  Returns the number of
     /// segments actually played; the shortfall is recorded as stalls.
-    pub fn advance(
-        &mut self,
-        buffer: &FifoBuffer,
-        budget: u64,
-        limit: Option<SegmentId>,
-    ) -> u64 {
+    pub fn advance(&mut self, buffer: &FifoBuffer, budget: u64, limit: Option<SegmentId>) -> u64 {
         if !self.started {
             return 0;
         }

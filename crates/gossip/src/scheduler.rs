@@ -132,6 +132,39 @@ pub struct SegmentRequest {
     pub supplier: PeerId,
 }
 
+/// Reusable, type-erased working memory handed to
+/// [`SegmentScheduler::schedule_into`].
+///
+/// The system owns one scratch per worker and passes it to every scheduling
+/// call, so a scheduler can keep sort buffers, hash maps and outcome vectors
+/// alive across nodes and periods: after warm-up the scheduling pass performs
+/// no heap allocation.  The slot is type-erased because each scheduler
+/// implementation has its own scratch layout; the first call allocates it,
+/// subsequent calls reuse it.
+#[derive(Debug, Default)]
+pub struct SchedulerScratch {
+    slot: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl SchedulerScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scheduler-specific scratch value, created on first use.
+    pub fn get_or_default<T: Default + Send + 'static>(&mut self) -> &mut T {
+        if !self.slot.as_ref().is_some_and(|s| s.is::<T>()) {
+            self.slot = Some(Box::<T>::default());
+        }
+        self.slot
+            .as_mut()
+            .expect("slot populated above")
+            .downcast_mut::<T>()
+            .expect("type checked above")
+    }
+}
+
 /// A pluggable segment-scheduling policy.
 pub trait SegmentScheduler: Send + Sync {
     /// Short policy name used in reports (e.g. `"fast-switch"`).
@@ -142,6 +175,25 @@ pub trait SegmentScheduler: Send + Sync {
     /// Implementations should return at most [`SchedulingContext::inbound_budget`]
     /// requests; the transfer layer enforces the budget regardless.
     fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest>;
+
+    /// Allocation-free variant used by the period hot path: writes the
+    /// requests into `out` (cleared first), reusing `scratch` for any
+    /// intermediate state.
+    ///
+    /// The default implementation simply delegates to
+    /// [`schedule`](Self::schedule); performance-sensitive schedulers
+    /// override it to reuse buffers.  Both variants must produce identical
+    /// requests for identical contexts.
+    fn schedule_into(
+        &self,
+        ctx: &SchedulingContext,
+        scratch: &mut SchedulerScratch,
+        out: &mut Vec<SegmentRequest>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.schedule(ctx));
+    }
 }
 
 #[cfg(test)]

@@ -81,7 +81,9 @@ impl Session {
 
     /// Number of segments emitted so far given the current head (exclusive).
     pub fn emitted(&self, next_to_emit: SegmentId) -> u64 {
-        next_to_emit.value().saturating_sub(self.first_segment.value())
+        next_to_emit
+            .value()
+            .saturating_sub(self.first_segment.value())
     }
 
     /// True when the source has stopped emitting.
@@ -148,8 +150,10 @@ impl SessionDirectory {
         start_secs: f64,
         previous_end: Option<SegmentId>,
     ) -> SourceId {
-        let first_segment = match (self.sessions.iter_mut().find(|s| !s.is_closed()), previous_end)
-        {
+        let first_segment = match (
+            self.sessions.iter_mut().find(|s| !s.is_closed()),
+            previous_end,
+        ) {
             (Some(live), Some(end)) => {
                 assert!(
                     live.contains(end) || end.value() + 1 == live.first_segment.value(),

@@ -13,11 +13,26 @@
 //!    segments are delivered (data traffic),
 //! 5. every node advances playback; switch milestones and the per-period
 //!    ratio tracks are recorded.
+//!
+//! # Hot path
+//!
+//! [`step`](StreamingSystem::step) runs the optimized period loop: all
+//! working memory lives in a reusable [`PeriodScratch`] arena (zero
+//! steady-state heap allocation), candidate segments are discovered by
+//! word-level bitset intersection of per-peer availability maps, per-peer
+//! lookups use dense `Vec`s indexed by [`PeerId`], and — behind the
+//! `parallel` feature — the read-only scheduling pass fans out across
+//! threads in deterministic node order.
+//! [`step_reference`](StreamingSystem::step_reference) preserves the
+//! original straight-line implementation; the two are byte-equivalent (the
+//! test-suite asserts identical [`SystemReport`]s) and the reference serves
+//! as the baseline for `BENCH_period.json`.
 
 use crate::config::GossipConfig;
 use crate::membership::MembershipMaintainer;
 use crate::peer::{NeighborInfo, PeerNode};
 use crate::scheduler::SegmentScheduler;
+use crate::scratch::{PeriodScratch, WorkerScratch};
 use crate::segment::{SegmentId, SessionDirectory, SourceId};
 use crate::stats::{RatioSample, SwitchRecord, TrafficCounters};
 use crate::transfer::{RequestBatch, TransferResolver};
@@ -72,6 +87,12 @@ pub struct StreamingSystem {
     switch_records: Vec<SwitchRecord>,
     ratio_samples: Vec<RatioSample>,
     switch_completed_secs: Option<f64>,
+
+    /// Reusable period working memory.
+    scratch: PeriodScratch,
+    /// Worker threads for the scheduling pass (effective only with the
+    /// `parallel` feature; results are identical either way).
+    parallelism: usize,
 }
 
 impl StreamingSystem {
@@ -111,6 +132,8 @@ impl StreamingSystem {
             switch_records: vec![SwitchRecord::default(); capacity],
             ratio_samples: Vec::new(),
             switch_completed_secs: None,
+            scratch: PeriodScratch::default(),
+            parallelism: 1,
         }
     }
 
@@ -123,6 +146,20 @@ impl StreamingSystem {
     /// default; shared for the bandwidth-starved ablation).
     pub fn set_capacity_model(&mut self, model: crate::transfer::CapacityModel) {
         self.resolver = TransferResolver::with_model(model);
+    }
+
+    /// Sets the number of worker threads for the scheduling pass.
+    ///
+    /// Values above 1 take effect only when the `parallel` feature is
+    /// enabled; the sweep is chunked deterministically so results are
+    /// byte-identical to the sequential order regardless.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    /// The configured scheduling-pass worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The protocol configuration.
@@ -169,7 +206,10 @@ impl StreamingSystem {
             self.directory.is_empty(),
             "initial source already started; use switch_source for later sources"
         );
-        assert!(self.overlay.graph().is_active(source), "source must be active");
+        assert!(
+            self.overlay.graph().is_active(source),
+            "source must be active"
+        );
         let id = self.directory.start_session(source, self.now_secs(), None);
         let bw = self.overlay.config().bandwidth.source_peer();
         self.overlay
@@ -196,12 +236,15 @@ impl StreamingSystem {
             self.overlay.graph().is_active(new_source),
             "new source must be active"
         );
-        assert_ne!(new_source, old_source, "new source must differ from the old one");
+        assert_ne!(
+            new_source, old_source,
+            "new source must differ from the old one"
+        );
 
         let last_emitted = SegmentId(self.next_emit.value().saturating_sub(1));
-        let new_id =
-            self.directory
-                .start_session(new_source, self.now_secs(), Some(last_emitted));
+        let new_id = self
+            .directory
+            .start_session(new_source, self.now_secs(), Some(last_emitted));
 
         // Bandwidth roles: the new source stops downloading and gets the
         // large source outbound; the old source goes back to being a regular
@@ -225,8 +268,10 @@ impl StreamingSystem {
         self.sources.push(new_source);
 
         // The new source knows its own session immediately.
-        self.peers[new_source as usize]
-            .discover_sessions(&self.directory, self.directory.sessions()[new_id.0 as usize].first_segment);
+        self.peers[new_source as usize].discover_sessions(
+            &self.directory,
+            self.directory.sessions()[new_id.0 as usize].first_segment,
+        );
 
         // Record switch-time state.  A fresh record per peer, so serial
         // switches (speaker after speaker) each get their own milestones.
@@ -242,8 +287,8 @@ impl StreamingSystem {
         for peer_id in self.overlay.active_peers().collect::<Vec<_>>() {
             let record = &mut self.switch_records[peer_id as usize];
             record.present_at_switch = true;
-            record.q0 = self.peers[peer_id as usize]
-                .undelivered_in_session(&old_session, last_emitted);
+            record.q0 =
+                self.peers[peer_id as usize].undelivered_in_session(&old_session, last_emitted);
         }
         // Sources are not "switching" nodes: exclude them from the averages.
         self.switch_records[new_source as usize].present_at_switch = false;
@@ -254,6 +299,15 @@ impl StreamingSystem {
     pub fn run_periods(&mut self, n: u64) {
         for _ in 0..n {
             self.step();
+        }
+    }
+
+    /// Runs `n` scheduling periods through the reference (pre-optimization)
+    /// implementation.  Used by equivalence tests and the baseline lane of
+    /// the `period_throughput` benchmark.
+    pub fn run_periods_reference(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_reference();
         }
     }
 
@@ -275,7 +329,7 @@ impl StreamingSystem {
         self.switch_completed_secs.is_some()
     }
 
-    /// Executes one scheduling period.
+    /// Executes one scheduling period (optimized hot path).
     pub fn step(&mut self) {
         let period_traffic_before = self.traffic_total;
 
@@ -286,23 +340,33 @@ impl StreamingSystem {
         self.emit_segments();
 
         // 3. Buffer-map exchange, discovery and scheduling.
-        let batches = self.collect_requests();
+        self.collect_requests_scratch();
 
         // 4. Transfer resolution and delivery.
-        self.deliver(batches);
+        self.deliver_scratch();
 
         // 5. Playback, milestones, ratio samples.
         self.period_index += 1;
         self.advance_playback_and_record();
 
         // 6. Switch-window traffic accounting.
-        if self.switch_secs.is_some() && self.switch_completed_secs.is_none() {
-            let delta = TrafficCounters {
-                control_bits: self.traffic_total.control_bits - period_traffic_before.control_bits,
-                data_bits: self.traffic_total.data_bits - period_traffic_before.data_bits,
-            };
-            self.traffic_switch_window.merge(&delta);
-        }
+        self.account_switch_window(period_traffic_before);
+        self.update_switch_completion();
+    }
+
+    /// Executes one scheduling period through the original straight-line
+    /// implementation (fresh allocations, per-id neighbour probing, map-based
+    /// transfer resolution).  Behaviour is identical to
+    /// [`step`](Self::step); kept as the verification baseline.
+    pub fn step_reference(&mut self) {
+        let period_traffic_before = self.traffic_total;
+        self.apply_churn();
+        self.emit_segments();
+        let batches = self.collect_requests_reference();
+        self.deliver_reference(batches);
+        self.period_index += 1;
+        self.advance_playback_and_record();
+        self.account_switch_window(period_traffic_before);
         self.update_switch_completion();
     }
 
@@ -320,8 +384,18 @@ impl StreamingSystem {
     }
 
     // ------------------------------------------------------------------
-    // internal steps
+    // internal steps (shared)
     // ------------------------------------------------------------------
+
+    fn account_switch_window(&mut self, period_traffic_before: TrafficCounters) {
+        if self.switch_secs.is_some() && self.switch_completed_secs.is_none() {
+            let delta = TrafficCounters {
+                control_bits: self.traffic_total.control_bits - period_traffic_before.control_bits,
+                data_bits: self.traffic_total.data_bits - period_traffic_before.data_bits,
+            };
+            self.traffic_switch_window.merge(&delta);
+        }
+    }
 
     fn apply_churn(&mut self) {
         let Some(churn) = self.churn.as_mut() else {
@@ -374,7 +448,311 @@ impl StreamingSystem {
         }
     }
 
-    fn collect_requests(&mut self) -> Vec<RequestBatch> {
+    fn advance_playback_and_record(&mut self) {
+        for p in self.overlay.active_peers() {
+            self.peers[p as usize].advance_playback(&self.config, &self.directory);
+        }
+
+        let Some((old_id, new_id)) = self.switch_sessions else {
+            return;
+        };
+        let since_switch = self.secs_since_switch();
+        let old = *self.directory.get(old_id).expect("old session");
+        let new = *self.directory.get(new_id).expect("new session");
+        let old_end = old.last_segment.expect("old session closed at switch");
+        let qs = self.config.new_source_qs;
+
+        let mut undelivered_sum = 0.0;
+        let mut delivered_sum = 0.0;
+        let mut counted = 0usize;
+        for p in self.overlay.active_peers() {
+            let record = &mut self.switch_records[p as usize];
+            if !record.countable() {
+                continue;
+            }
+            let node = &self.peers[p as usize];
+
+            if record.s1_finished_secs.is_none() && node.id_play() > old_end {
+                record.s1_finished_secs = Some(since_switch);
+            }
+            if record.s2_prepared_secs.is_none() && node.prepared_for(&new, qs) {
+                record.s2_prepared_secs = Some(since_switch);
+            }
+            if record.s2_started_secs.is_none() && node.id_play() > new.first_segment {
+                record.s2_started_secs = Some(since_switch);
+            }
+
+            // Ratio tracks (Figures 5 and 9).
+            let q1 = node.undelivered_in_session(&old, old_end);
+            let undelivered_ratio = if record.q0 == 0 {
+                0.0
+            } else {
+                q1 as f64 / record.q0 as f64
+            };
+            let q2 = node.q2_for(&new, qs);
+            let delivered_ratio = (qs - q2) as f64 / qs as f64;
+            undelivered_sum += undelivered_ratio;
+            delivered_sum += delivered_ratio;
+            counted += 1;
+        }
+        if counted > 0 {
+            self.ratio_samples.push(RatioSample {
+                secs: since_switch,
+                undelivered_ratio_s1: undelivered_sum / counted as f64,
+                delivered_ratio_s2: delivered_sum / counted as f64,
+            });
+        }
+    }
+
+    fn update_switch_completion(&mut self) {
+        if self.switch_secs.is_none() || self.switch_completed_secs.is_some() {
+            return;
+        }
+        let all_done = self
+            .switch_records
+            .iter()
+            .filter(|r| r.countable())
+            .all(|r| r.completed());
+        let any = self.switch_records.iter().any(|r| r.countable());
+        if any && all_done {
+            self.switch_completed_secs = Some(self.secs_since_switch());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // optimized period internals
+    // ------------------------------------------------------------------
+
+    fn worker_count(&self) -> usize {
+        if cfg!(feature = "parallel") {
+            self.parallelism.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Discovery + context building + scheduling, entirely out of the
+    /// scratch arena.  Fills `self.scratch.batches` in node order.
+    fn collect_requests_scratch(&mut self) {
+        let capacity = self.overlay.graph().capacity();
+        let workers = self.worker_count();
+        self.scratch.ensure_capacity(capacity, workers);
+
+        self.scratch.active.clear();
+        {
+            let overlay = &self.overlay;
+            self.scratch.active.extend(overlay.active_peers());
+        }
+
+        // Discovery pass: a node learns a new session as soon as any
+        // neighbour (or its own buffer) holds one of its segments.  All
+        // reads happen before any `discover_sessions` mutation, mirroring
+        // the reference implementation.
+        self.scratch.observed_max.clear();
+        for &p in &self.scratch.active {
+            let own = self.peers[p as usize].buffer().max_id();
+            let neighbours = self
+                .overlay
+                .neighbors(p)
+                .iter()
+                .filter_map(|&n| self.peers[n as usize].buffer().max_id())
+                .max();
+            self.scratch.observed_max.push(
+                own.into_iter()
+                    .chain(neighbours)
+                    .max()
+                    .unwrap_or(SegmentId(0)),
+            );
+        }
+        for i in 0..self.scratch.active.len() {
+            let p = self.scratch.active[i];
+            let observed = self.scratch.observed_max[i];
+            self.peers[p as usize].discover_sessions(&self.directory, observed);
+        }
+
+        // Dense per-peer rate tables, refreshed once per period.
+        for i in 0..self.scratch.active.len() {
+            let p = self.scratch.active[i] as usize;
+            let (inbound, outbound) = self
+                .overlay
+                .attrs(p as PeerId)
+                .map(|a| (a.bandwidth.inbound, a.bandwidth.outbound))
+                .unwrap_or((0.0, 0.0));
+            self.scratch.inbound_rate[p] = inbound;
+            self.scratch.outbound_rate[p] = outbound;
+        }
+
+        // Hand the recycled request vectors to the workers that will
+        // actually run this period (the parallel chunking may use fewer
+        // chunks than worker slots; idle slots must not hoard vectors).
+        {
+            let PeriodScratch {
+                active,
+                request_pool,
+                workers: worker_slots,
+                ..
+            } = &mut self.scratch;
+            let (_, used) = chunk_layout(active.len(), workers);
+            let mut next = 0usize;
+            while let Some(requests) = request_pool.pop() {
+                worker_slots[next % used].request_pool.push(requests);
+                next += 1;
+            }
+        }
+
+        // Scheduling pass (read-only over peers/overlay/directory).
+        self.run_scheduling_pass(workers);
+
+        // Merge worker outputs in node order and account control traffic.
+        debug_assert!(self.scratch.batches.is_empty());
+        let mut control_bits = 0u64;
+        {
+            let PeriodScratch {
+                batches,
+                request_pool,
+                workers: worker_slots,
+                ..
+            } = &mut self.scratch;
+            for worker in worker_slots.iter_mut() {
+                control_bits += worker.control_bits;
+                worker.control_bits = 0;
+                batches.append(&mut worker.out);
+                // Return leftovers so no worker strands vectors across
+                // periods (worker/chunk assignment can change every period).
+                request_pool.append(&mut worker.request_pool);
+            }
+        }
+        self.traffic_total.add_control(control_bits);
+    }
+
+    /// Dispatches the per-node scheduling over `workers` chunks.  Chunks are
+    /// contiguous slices of the active list, so concatenating worker outputs
+    /// reproduces the sequential node order exactly.
+    fn run_scheduling_pass(&mut self, workers: usize) {
+        let PeriodScratch {
+            active,
+            workers: worker_slots,
+            outbound_rate,
+            inbound_rate,
+            ..
+        } = &mut self.scratch;
+        let peers = &self.peers;
+        let overlay = &self.overlay;
+        let directory = &self.directory;
+        let config = &self.config;
+        let scheduler: &dyn SegmentScheduler = &*self.scheduler;
+
+        let (chunk_size, used_workers) = chunk_layout(active.len(), workers);
+        if used_workers <= 1 {
+            schedule_chunk(
+                active,
+                &mut worker_slots[0],
+                peers,
+                overlay,
+                directory,
+                config,
+                scheduler,
+                outbound_rate,
+                inbound_rate,
+            );
+            return;
+        }
+
+        #[cfg(feature = "parallel")]
+        {
+            std::thread::scope(|scope| {
+                for (worker, chunk) in worker_slots.iter_mut().zip(active.chunks(chunk_size)) {
+                    let outbound_rate = &outbound_rate[..];
+                    let inbound_rate = &inbound_rate[..];
+                    scope.spawn(move || {
+                        schedule_chunk(
+                            chunk,
+                            worker,
+                            peers,
+                            overlay,
+                            directory,
+                            config,
+                            scheduler,
+                            outbound_rate,
+                            inbound_rate,
+                        );
+                    });
+                }
+            });
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            // Without the feature every configured parallelism degrades to
+            // the sequential order (identical results either way).
+            let _ = chunk_size;
+            schedule_chunk(
+                active,
+                &mut worker_slots[0],
+                peers,
+                overlay,
+                directory,
+                config,
+                scheduler,
+                outbound_rate,
+                inbound_rate,
+            );
+        }
+    }
+
+    /// Transfer resolution and delivery out of the scratch arena: dense
+    /// outbound budgets instead of a per-period `HashMap`, reusable entry /
+    /// delivery buffers inside the resolver, and request-vector recycling.
+    fn deliver_scratch(&mut self) {
+        let tau = self.config.tau_secs;
+        for budget in self.scratch.outbound_budget.iter_mut() {
+            *budget = 0;
+        }
+        for i in 0..self.scratch.active.len() {
+            let p = self.scratch.active[i] as usize;
+            self.scratch.outbound_budget[p] =
+                (self.scratch.outbound_rate[p] * tau).floor() as usize;
+        }
+
+        {
+            let PeriodScratch {
+                batches,
+                outbound_budget,
+                deliveries,
+                ..
+            } = &mut self.scratch;
+            self.resolver.resolve_round_into(
+                batches,
+                |p| outbound_budget.get(p as usize).copied().unwrap_or(0),
+                self.period_index,
+                deliveries,
+            );
+        }
+        for i in 0..self.scratch.deliveries.len() {
+            let d = self.scratch.deliveries[i];
+            self.peers[d.requester as usize]
+                .buffer_mut()
+                .insert(d.segment);
+            self.traffic_total.add_data(self.config.segment_bits);
+        }
+
+        // Recycle the request vectors for the next period.
+        let PeriodScratch {
+            batches,
+            request_pool,
+            ..
+        } = &mut self.scratch;
+        for batch in batches.drain(..) {
+            let mut requests = batch.requests;
+            requests.clear();
+            request_pool.push(requests);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // reference (pre-optimization) period internals
+    // ------------------------------------------------------------------
+
+    fn collect_requests_reference(&mut self) -> Vec<RequestBatch> {
         let active: Vec<PeerId> = self.overlay.active_peers().collect();
 
         // Discovery pass: a node learns a new session as soon as any
@@ -389,7 +767,13 @@ impl StreamingSystem {
                     .iter()
                     .filter_map(|&n| self.peers[n as usize].buffer().max_id())
                     .max();
-                (p, own.into_iter().chain(neighbours).max().unwrap_or(SegmentId(0)))
+                (
+                    p,
+                    own.into_iter()
+                        .chain(neighbours)
+                        .max()
+                        .unwrap_or(SegmentId(0)),
+                )
             })
             .collect();
         for (p, max_seen) in observed {
@@ -448,7 +832,7 @@ impl StreamingSystem {
         batches
     }
 
-    fn deliver(&mut self, batches: Vec<RequestBatch>) {
+    fn deliver_reference(&mut self, batches: Vec<RequestBatch>) {
         let tau = self.config.tau_secs;
         let outbound: HashMap<PeerId, usize> = self
             .overlay
@@ -462,89 +846,84 @@ impl StreamingSystem {
                 (p, (rate * tau).floor() as usize)
             })
             .collect();
-        let deliveries = self.resolver.resolve_round(
+        let deliveries = self.resolver.resolve_round_reference(
             &batches,
             |p| outbound.get(&p).copied().unwrap_or(0),
             self.period_index,
         );
         for d in deliveries {
-            self.peers[d.requester as usize].buffer_mut().insert(d.segment);
+            self.peers[d.requester as usize]
+                .buffer_mut()
+                .insert(d.segment);
             self.traffic_total.add_data(self.config.segment_bits);
         }
     }
+}
 
-    fn advance_playback_and_record(&mut self) {
-        let now = self.now_secs();
-        let active: Vec<PeerId> = self.overlay.active_peers().collect();
-        for &p in &active {
-            self.peers[p as usize].advance_playback(&self.config, &self.directory);
-        }
-
-        let Some((old_id, new_id)) = self.switch_sessions else {
-            return;
-        };
-        let since_switch = self.secs_since_switch();
-        let old = *self.directory.get(old_id).expect("old session");
-        let new = *self.directory.get(new_id).expect("new session");
-        let old_end = old.last_segment.expect("old session closed at switch");
-        let qs = self.config.new_source_qs;
-
-        let mut undelivered_sum = 0.0;
-        let mut delivered_sum = 0.0;
-        let mut counted = 0usize;
-        for &p in &active {
-            let record = &mut self.switch_records[p as usize];
-            if !record.countable() {
-                continue;
-            }
-            let node = &self.peers[p as usize];
-
-            if record.s1_finished_secs.is_none() && node.id_play() > old_end {
-                record.s1_finished_secs = Some(since_switch);
-            }
-            if record.s2_prepared_secs.is_none() && node.prepared_for(&new, qs) {
-                record.s2_prepared_secs = Some(since_switch);
-            }
-            if record.s2_started_secs.is_none() && node.id_play() > new.first_segment {
-                record.s2_started_secs = Some(since_switch);
-            }
-
-            // Ratio tracks (Figures 5 and 9).
-            let q1 = node.undelivered_in_session(&old, old_end);
-            let undelivered_ratio = if record.q0 == 0 {
-                0.0
-            } else {
-                q1 as f64 / record.q0 as f64
-            };
-            let q2 = node.q2_for(&new, qs);
-            let delivered_ratio = (qs - q2) as f64 / qs as f64;
-            undelivered_sum += undelivered_ratio;
-            delivered_sum += delivered_ratio;
-            counted += 1;
-        }
-        if counted > 0 {
-            self.ratio_samples.push(RatioSample {
-                secs: since_switch,
-                undelivered_ratio_s1: undelivered_sum / counted as f64,
-                delivered_ratio_s2: delivered_sum / counted as f64,
-            });
-        }
-        let _ = now;
+/// Splits `active_len` nodes over at most `workers` contiguous chunks.
+///
+/// Returns `(chunk_size, chunk_count)`.  Both the request-vector
+/// distribution and the thread dispatch derive their layout from this one
+/// function so recycled vectors always land in workers that actually run.
+fn chunk_layout(active_len: usize, workers: usize) -> (usize, usize) {
+    if workers <= 1 || active_len < 2 {
+        return (active_len.max(1), 1);
     }
+    let chunk_size = active_len.div_ceil(workers);
+    (chunk_size, active_len.div_ceil(chunk_size))
+}
 
-    fn update_switch_completion(&mut self) {
-        if self.switch_secs.is_none() || self.switch_completed_secs.is_some() {
-            return;
+/// Runs the scheduling pass for one contiguous chunk of the active list.
+///
+/// Pure function of the (immutable) system state plus the worker's own
+/// scratch, which is what makes the parallel fan-out trivially deterministic.
+#[allow(clippy::too_many_arguments)]
+fn schedule_chunk(
+    chunk: &[PeerId],
+    worker: &mut WorkerScratch,
+    peers: &[PeerNode],
+    overlay: &Overlay,
+    directory: &SessionDirectory,
+    config: &GossipConfig,
+    scheduler: &dyn SegmentScheduler,
+    outbound_rate: &[f64],
+    inbound_rate: &[f64],
+) {
+    for &p in chunk {
+        let neighbors = overlay.neighbors(p);
+        if neighbors.is_empty() {
+            continue;
         }
-        let all_done = self
-            .switch_records
-            .iter()
-            .filter(|r| r.countable())
-            .all(|r| r.completed());
-        let any = self.switch_records.iter().any(|r| r.countable());
-        if any && all_done {
-            self.switch_completed_secs = Some(self.secs_since_switch());
+        // Buffer-map exchange cost: one 620-bit map per neighbour.
+        worker.control_bits += config.buffermap_bits * neighbors.len() as u64;
+
+        let inbound = inbound_rate[p as usize];
+        if inbound <= 0.0 {
+            continue;
         }
+        if !worker.build_context(
+            &peers[p as usize],
+            config,
+            directory,
+            inbound,
+            neighbors,
+            peers,
+            outbound_rate,
+        ) {
+            continue;
+        }
+        let mut requests = worker.request_pool.pop().unwrap_or_default();
+        scheduler.schedule_into(&worker.ctx, &mut worker.sched, &mut requests);
+        if requests.is_empty() {
+            worker.request_pool.push(requests);
+            continue;
+        }
+        let inbound_budget = worker.ctx.inbound_budget();
+        worker.out.push(RequestBatch {
+            requester: p,
+            inbound_budget,
+            requests,
+        });
     }
 }
 
@@ -600,7 +979,11 @@ mod tests {
     fn build_system(nodes: usize, seed: u64) -> StreamingSystem {
         let trace = TraceGenerator::new(GeneratorConfig::sized(nodes, seed)).generate("sys");
         let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
-        StreamingSystem::new(overlay, GossipConfig::paper_default(), Box::new(GreedyOldest))
+        StreamingSystem::new(
+            overlay,
+            GossipConfig::paper_default(),
+            Box::new(GreedyOldest),
+        )
     }
 
     fn first_two(sys: &StreamingSystem) -> (PeerId, PeerId) {
@@ -726,6 +1109,113 @@ mod tests {
         assert_eq!(a.switch_records, b.switch_records);
         assert_eq!(a.traffic_total, b.traffic_total);
         assert_eq!(a.ratio_samples, b.ratio_samples);
+    }
+
+    /// The tentpole invariant: the scratch-arena hot path produces a report
+    /// byte-identical to the original straight-line implementation, across a
+    /// warm-up, a source switch and churn.
+    #[test]
+    fn optimized_step_matches_reference_step() {
+        let run = |optimized: bool| {
+            let mut sys = build_system(60, 11);
+            let (s1, s2) = first_two(&sys);
+            sys.start_initial_source(s1);
+            if optimized {
+                sys.run_periods(30);
+            } else {
+                sys.run_periods_reference(30);
+            }
+            sys.set_churn(ChurnModel::paper_default(5));
+            sys.switch_source(s2);
+            for _ in 0..60 {
+                if optimized {
+                    sys.step();
+                } else {
+                    sys.step_reference();
+                }
+            }
+            sys.report()
+        };
+        let optimized = run(true);
+        let reference = run(false);
+        assert_eq!(optimized, reference);
+    }
+
+    /// Interleaving the two implementations within one run must also agree:
+    /// every period starts from identical state either way.
+    #[test]
+    fn implementations_can_interleave() {
+        let mut a = build_system(50, 13);
+        let mut b = build_system(50, 13);
+        let (s1, s2) = first_two(&a);
+        a.start_initial_source(s1);
+        b.start_initial_source(s1);
+        for round in 0..30u64 {
+            if round % 2 == 0 {
+                a.step();
+                b.step_reference();
+            } else {
+                a.step_reference();
+                b.step();
+            }
+            if round == 20 {
+                a.switch_source(s2);
+                b.switch_source(s2);
+            }
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    /// Regression test: recycled request vectors must never strand in worker
+    /// slots that receive no chunk (more workers than chunks), and every
+    /// period must return all vectors to the global pool.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn request_pool_never_strands_in_idle_workers() {
+        let mut sys = build_system(20, 23);
+        sys.set_parallelism(8); // far more workers than 20 peers need
+        let (s1, _) = first_two(&sys);
+        sys.start_initial_source(s1);
+        let mut pool_high_water = 0usize;
+        for period in 0..60 {
+            sys.step();
+            for (w, worker) in sys.scratch.workers.iter().enumerate() {
+                assert!(
+                    worker.request_pool.is_empty(),
+                    "period {period}: worker {w} kept {} vectors",
+                    worker.request_pool.len()
+                );
+            }
+            pool_high_water = pool_high_water.max(sys.scratch.request_pool.len());
+        }
+        // The pool is bounded by the number of requesting nodes, not by the
+        // number of elapsed periods.
+        assert!(
+            pool_high_water <= sys.overlay().active_count(),
+            "pool grew to {pool_high_water} vectors for {} nodes",
+            sys.overlay().active_count()
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_sweep_is_byte_identical() {
+        let run = |workers: usize| {
+            let mut sys = build_system(80, 17);
+            sys.set_parallelism(workers);
+            assert_eq!(sys.parallelism(), workers.max(1));
+            let (s1, s2) = first_two(&sys);
+            sys.start_initial_source(s1);
+            sys.run_periods(25);
+            sys.set_churn(ChurnModel::paper_default(3));
+            sys.switch_source(s2);
+            sys.run_periods(50);
+            sys.report()
+        };
+        let sequential = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(run(workers), sequential, "workers = {workers}");
+        }
     }
 
     #[test]

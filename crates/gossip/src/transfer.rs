@@ -13,6 +13,18 @@
 //! requester's own requests being served in the priority order its scheduler
 //! produced.  Requests that do not fit are simply dropped; the requester will
 //! re-evaluate next period, as in the real pull protocol.
+//!
+//! # Hot-path representation
+//!
+//! The resolver used to build a `BTreeMap<supplier, BTreeMap<requester,
+//! VecDeque<segment>>>` every period.  The optimized path instead flattens
+//! all requests into one reusable entry vector, sorts it by `(supplier,
+//! requester, submission order)` — which reproduces the `BTreeMap` iteration
+//! order exactly — and walks supplier/requester groups in place.  All
+//! buffers are retained across calls, so steady-state resolution performs no
+//! heap allocation.  [`TransferResolver::resolve_round_reference`] keeps the
+//! original map-based implementation; the test-suite asserts both produce
+//! identical deliveries.
 
 use crate::scheduler::SegmentRequest;
 use crate::segment::SegmentId;
@@ -20,7 +32,7 @@ use fss_overlay::PeerId;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// The requests one node issues in one period.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RequestBatch {
     /// The requesting node.
     pub requester: PeerId,
@@ -60,10 +72,34 @@ pub enum CapacityModel {
     PerLink,
 }
 
+/// One flattened request in the resolver's working set.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    supplier: PeerId,
+    requester: PeerId,
+    /// Global submission index; preserves each requester's priority order
+    /// under the (unstable) sort because it makes keys unique.
+    seq: u32,
+    segment: SegmentId,
+}
+
 /// Resolves one period's requests against supplier and requester budgets.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The resolver owns reusable working buffers, so resolution methods take
+/// `&mut self`; construction is cheap and the buffers grow to a steady-state
+/// high-water mark.
+#[derive(Debug, Clone, Default)]
 pub struct TransferResolver {
     model: CapacityModel,
+    /// Flattened, deduplicated, budget-truncated requests.
+    entries: Vec<Entry>,
+    /// Per-requester `(cursor, end)` ranges of the supplier group being
+    /// served round-robin (Shared model).
+    round_robin: Vec<(usize, usize)>,
+    /// Snapshot of round-robin indices for one serving pass.
+    pass: Vec<usize>,
+    /// Requester ids seen while flattening (duplicate detection).
+    requesters: Vec<PeerId>,
 }
 
 impl TransferResolver {
@@ -74,7 +110,10 @@ impl TransferResolver {
 
     /// Creates a resolver with an explicit capacity model.
     pub fn with_model(model: CapacityModel) -> Self {
-        TransferResolver { model }
+        TransferResolver {
+            model,
+            ..TransferResolver::default()
+        }
     }
 
     /// The capacity model in use.
@@ -88,7 +127,11 @@ impl TransferResolver {
     /// `outbound_budget(peer)` must return the supplier's whole-segment
     /// budget for this period.  The returned deliveries are deterministic for
     /// identical inputs.
-    pub fn resolve<F>(&self, batches: &[RequestBatch], outbound_budget: F) -> Vec<DeliveredSegment>
+    pub fn resolve<F>(
+        &mut self,
+        batches: &[RequestBatch],
+        outbound_budget: F,
+    ) -> Vec<DeliveredSegment>
     where
         F: Fn(PeerId) -> usize,
     {
@@ -99,6 +142,167 @@ impl TransferResolver {
     /// position by `round` so that over successive periods no requester is
     /// systematically served last at an overloaded supplier.
     pub fn resolve_round<F>(
+        &mut self,
+        batches: &[RequestBatch],
+        outbound_budget: F,
+        round: u64,
+    ) -> Vec<DeliveredSegment>
+    where
+        F: Fn(PeerId) -> usize,
+    {
+        let mut deliveries = Vec::new();
+        self.resolve_round_into(batches, outbound_budget, round, &mut deliveries);
+        deliveries
+    }
+
+    /// Allocation-free resolution: writes the deliveries into `out` (cleared
+    /// first), reusing the resolver's internal buffers.
+    ///
+    /// Duplicate `(requester, segment)` requests collapse onto the first
+    /// listed supplier, exactly like the reference resolver — including
+    /// across batches when a requester appears more than once (the system
+    /// emits one batch per node, so the cross-batch pass is skipped on the
+    /// hot path).
+    pub fn resolve_round_into<F>(
+        &mut self,
+        batches: &[RequestBatch],
+        outbound_budget: F,
+        round: u64,
+        out: &mut Vec<DeliveredSegment>,
+    ) where
+        F: Fn(PeerId) -> usize,
+    {
+        out.clear();
+        self.entries.clear();
+        self.requesters.clear();
+        let mut seq = 0u32;
+        for batch in batches {
+            self.requesters.push(batch.requester);
+            let batch_start = self.entries.len();
+            for req in batch.requests.iter().take(batch.inbound_budget) {
+                // Collapse duplicate segments within the batch: the first
+                // listed supplier wins, matching the reference resolver.
+                if self.entries[batch_start..]
+                    .iter()
+                    .any(|e| e.segment == req.segment)
+                {
+                    continue;
+                }
+                self.entries.push(Entry {
+                    supplier: req.supplier,
+                    requester: batch.requester,
+                    seq,
+                    segment: req.segment,
+                });
+                seq += 1;
+            }
+        }
+
+        // The reference resolver dedups (requester, segment) globally.  A
+        // requester appearing in several batches is impossible on the hot
+        // path, so only pay for the cross-batch pass when it happens.
+        self.requesters.sort_unstable();
+        if self.requesters.windows(2).any(|w| w[0] == w[1]) {
+            self.entries
+                .sort_unstable_by_key(|e| (e.requester, e.segment, e.seq));
+            self.entries.dedup_by_key(|e| (e.requester, e.segment));
+        }
+
+        // (supplier asc, requester asc, submission order) reproduces the
+        // reference implementation's nested-BTreeMap iteration order; the
+        // unique `seq` makes the key total so the unstable (allocation-free)
+        // sort is deterministic.
+        self.entries
+            .sort_unstable_by_key(|e| (e.supplier, e.requester, e.seq));
+
+        let mut group_start = 0;
+        while group_start < self.entries.len() {
+            let supplier = self.entries[group_start].supplier;
+            let mut group_end = group_start + 1;
+            while group_end < self.entries.len() && self.entries[group_end].supplier == supplier {
+                group_end += 1;
+            }
+            let budget = outbound_budget(supplier);
+            match self.model {
+                CapacityModel::PerLink => {
+                    Self::serve_per_link(&self.entries[group_start..group_end], budget, out);
+                }
+                CapacityModel::Shared => {
+                    // Build the ascending requester sub-groups.
+                    self.round_robin.clear();
+                    let mut i = group_start;
+                    while i < group_end {
+                        let requester = self.entries[i].requester;
+                        let sub_start = i;
+                        while i < group_end && self.entries[i].requester == requester {
+                            i += 1;
+                        }
+                        self.round_robin.push((sub_start, i));
+                    }
+                    let offset =
+                        (round as usize).wrapping_add(supplier as usize) % self.round_robin.len();
+                    let mut budget = budget;
+                    while budget > 0 && !self.round_robin.is_empty() {
+                        let len = self.round_robin.len();
+                        self.pass.clear();
+                        self.pass.extend(0..len);
+                        self.pass.rotate_left(offset % len);
+                        let mut progressed = false;
+                        for pi in 0..self.pass.len() {
+                            if budget == 0 {
+                                break;
+                            }
+                            let ri = self.pass[pi];
+                            let (cursor, end) = self.round_robin[ri];
+                            if cursor < end {
+                                let e = self.entries[cursor];
+                                out.push(DeliveredSegment {
+                                    requester: e.requester,
+                                    supplier: e.supplier,
+                                    segment: e.segment,
+                                });
+                                self.round_robin[ri].0 += 1;
+                                budget -= 1;
+                                progressed = true;
+                            }
+                        }
+                        if !progressed {
+                            break;
+                        }
+                        self.round_robin.retain(|&(cursor, end)| cursor < end);
+                    }
+                }
+            }
+            group_start = group_end;
+        }
+    }
+
+    /// Serves one supplier's group under the per-link model: each requester
+    /// sub-group gets up to `budget` segments in priority order.
+    fn serve_per_link(group: &[Entry], budget: usize, out: &mut Vec<DeliveredSegment>) {
+        let mut i = 0;
+        while i < group.len() {
+            let requester = group[i].requester;
+            let mut served = 0;
+            while i < group.len() && group[i].requester == requester {
+                if served < budget {
+                    let e = group[i];
+                    out.push(DeliveredSegment {
+                        requester: e.requester,
+                        supplier: e.supplier,
+                        segment: e.segment,
+                    });
+                    served += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// The original map-based implementation, kept as the behavioural
+    /// reference: the optimized path must produce byte-identical deliveries.
+    /// Used by `StreamingSystem::step_reference` and the equivalence tests.
+    pub fn resolve_round_reference<F>(
         &self,
         batches: &[RequestBatch],
         outbound_budget: F,
@@ -214,13 +418,32 @@ mod tests {
             .collect()
     }
 
+    /// Runs both implementations and asserts byte-identical deliveries.
+    fn resolve_checked<F>(
+        mut resolver: TransferResolver,
+        batches: &[RequestBatch],
+        outbound_budget: F,
+        round: u64,
+    ) -> Vec<DeliveredSegment>
+    where
+        F: Fn(PeerId) -> usize,
+    {
+        let reference = resolver.resolve_round_reference(batches, &outbound_budget, round);
+        let optimized = resolver.resolve_round(batches, &outbound_budget, round);
+        assert_eq!(
+            optimized, reference,
+            "dense resolver diverged from reference"
+        );
+        optimized
+    }
+
     #[test]
     fn everything_fits_when_budgets_are_ample() {
         let batches = vec![
             batch(1, 10, vec![req(100, 9), req(101, 9)]),
             batch(2, 10, vec![req(102, 9)]),
         ];
-        let deliveries = TransferResolver::new().resolve(&batches, |_| 100);
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 100, 0);
         assert_eq!(deliveries.len(), 3);
         assert_eq!(segments_for(&deliveries, 1), vec![100, 101]);
         assert_eq!(segments_for(&deliveries, 2), vec![102]);
@@ -234,8 +457,12 @@ mod tests {
             batch(1, 10, vec![req(1, 9), req(2, 9), req(3, 9)]),
             batch(2, 10, vec![req(4, 9), req(5, 9), req(6, 9)]),
         ];
-        let deliveries =
-            TransferResolver::with_model(CapacityModel::Shared).resolve(&batches, |_| 3);
+        let deliveries = resolve_checked(
+            TransferResolver::with_model(CapacityModel::Shared),
+            &batches,
+            |_| 3,
+            0,
+        );
         assert_eq!(deliveries.len(), 3);
         // Round-robin: both requesters are served at least once, in their own
         // priority order, and nobody hogs the whole budget.
@@ -256,10 +483,14 @@ mod tests {
             batch(2, 10, vec![req(2, 9)]),
             batch(3, 10, vec![req(3, 9)]),
         ];
-        let resolver = TransferResolver::with_model(CapacityModel::Shared);
         let mut served: Vec<PeerId> = Vec::new();
         for round in 0..3 {
-            let deliveries = resolver.resolve_round(&batches, |_| 1, round);
+            let deliveries = resolve_checked(
+                TransferResolver::with_model(CapacityModel::Shared),
+                &batches,
+                |_| 1,
+                round,
+            );
             assert_eq!(deliveries.len(), 1);
             served.push(deliveries[0].requester);
         }
@@ -269,7 +500,7 @@ mod tests {
 
     #[test]
     fn per_link_model_serves_each_requester_up_to_the_supplier_rate() {
-        let resolver = TransferResolver::with_model(CapacityModel::PerLink);
+        let mut resolver = TransferResolver::with_model(CapacityModel::PerLink);
         assert_eq!(resolver.model(), CapacityModel::PerLink);
         assert_eq!(TransferResolver::new().model(), CapacityModel::PerLink);
         // Supplier 9 has rate 2; both requesters want 3 segments from it.
@@ -290,14 +521,14 @@ mod tests {
             2,
             vec![req(10, 5), req(11, 6), req(12, 7), req(13, 8)],
         )];
-        let deliveries = TransferResolver::new().resolve(&batches, |_| 100);
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 100, 0);
         assert_eq!(segments_for(&deliveries, 1), vec![10, 11]);
     }
 
     #[test]
     fn duplicate_requests_for_same_segment_collapse() {
         let batches = vec![batch(1, 10, vec![req(10, 5), req(10, 6), req(11, 5)])];
-        let deliveries = TransferResolver::new().resolve(&batches, |_| 100);
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 100, 0);
         assert_eq!(deliveries.len(), 2);
         assert_eq!(segments_for(&deliveries, 1), vec![10, 11]);
         // The duplicate went to the first-listed supplier.
@@ -305,9 +536,40 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_requesters_across_batches_collapse_like_the_reference() {
+        // The same requester split over two batches asking for overlapping
+        // segments: the reference resolver dedups (requester, segment)
+        // globally; the optimized path must match.
+        let batches = vec![
+            batch(1, 10, vec![req(10, 5), req(11, 5)]),
+            batch(1, 10, vec![req(10, 6), req(12, 6)]),
+            batch(2, 10, vec![req(10, 6)]),
+        ];
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 100, 0);
+        // Requester 1 receives segment 10 exactly once, from the
+        // first-listed supplier (5).
+        assert_eq!(segments_for(&deliveries, 1), vec![10, 11, 12]);
+        assert_eq!(
+            deliveries
+                .iter()
+                .find(|d| d.requester == 1 && d.segment == SegmentId(10))
+                .unwrap()
+                .supplier,
+            5
+        );
+        // Requester 2's own request for segment 10 is unaffected.
+        assert_eq!(segments_for(&deliveries, 2), vec![10]);
+    }
+
+    #[test]
     fn zero_budgets_deliver_nothing() {
         let batches = vec![batch(1, 0, vec![req(1, 2)]), batch(3, 5, vec![req(2, 4)])];
-        let deliveries = TransferResolver::new().resolve(&batches, |p| if p == 4 { 0 } else { 10 });
+        let deliveries = resolve_checked(
+            TransferResolver::new(),
+            &batches,
+            |p| if p == 4 { 0 } else { 10 },
+            0,
+        );
         assert!(deliveries.is_empty());
     }
 
@@ -318,13 +580,21 @@ mod tests {
                 batch(
                     r,
                     5,
-                    (0..5).map(|s| req(u64::from(r) * 10 + s, (r + 1) % 20)).collect(),
+                    (0..5)
+                        .map(|s| req(u64::from(r) * 10 + s, (r + 1) % 20))
+                        .collect(),
                 )
             })
             .collect();
         let a = TransferResolver::new().resolve(&batches, |_| 3);
         let b = TransferResolver::new().resolve(&batches, |_| 3);
         assert_eq!(a, b);
+        // Reusing one resolver across rounds is also deterministic.
+        let mut shared = TransferResolver::new();
+        let c = shared.resolve(&batches, |_| 3);
+        let d = shared.resolve(&batches, |_| 3);
+        assert_eq!(c, d);
+        assert_eq!(a, c);
     }
 
     proptest::proptest! {
@@ -350,8 +620,12 @@ mod tests {
                 });
             }
             let batches: Vec<RequestBatch> = by_requester.into_values().collect();
-            let deliveries =
-                TransferResolver::with_model(CapacityModel::Shared).resolve(&batches, |_| outbound);
+            let mut resolver = TransferResolver::with_model(CapacityModel::Shared);
+            let deliveries = resolver.resolve(&batches, |_| outbound);
+
+            // The optimized path matches the reference implementation.
+            let reference = resolver.resolve_round_reference(&batches, |_| outbound, 0);
+            proptest::prop_assert_eq!(&deliveries, &reference);
 
             for b in &batches {
                 let received = deliveries.iter().filter(|d| d.requester == b.requester).count();

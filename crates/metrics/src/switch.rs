@@ -32,8 +32,14 @@ impl SwitchSummary {
     /// a milestone simply do not contribute to that milestone's average.
     pub fn from_records(records: &[SwitchRecord]) -> SwitchSummary {
         let countable: Vec<&SwitchRecord> = records.iter().filter(|r| r.countable()).collect();
-        let finish: Vec<f64> = countable.iter().filter_map(|r| r.s1_finished_secs).collect();
-        let prepare: Vec<f64> = countable.iter().filter_map(|r| r.s2_prepared_secs).collect();
+        let finish: Vec<f64> = countable
+            .iter()
+            .filter_map(|r| r.s1_finished_secs)
+            .collect();
+        let prepare: Vec<f64> = countable
+            .iter()
+            .filter_map(|r| r.s2_prepared_secs)
+            .collect();
         let start: Vec<f64> = countable.iter().filter_map(|r| r.s2_started_secs).collect();
         let q0: Vec<f64> = countable.iter().map(|r| r.q0 as f64).collect();
         SwitchSummary {
@@ -121,7 +127,10 @@ mod tests {
 
     #[test]
     fn incomplete_nodes_lower_the_completion_rate_only() {
-        let records = vec![record(10, Some(5.0), Some(8.0)), record(10, Some(6.0), None)];
+        let records = vec![
+            record(10, Some(5.0), Some(8.0)),
+            record(10, Some(6.0), None),
+        ];
         let s = SwitchSummary::from_records(&records);
         assert_eq!(s.countable_nodes, 2);
         assert_eq!(s.completed_nodes, 1);

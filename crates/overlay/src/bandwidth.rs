@@ -55,7 +55,7 @@ impl Default for BandwidthConfig {
 impl BandwidthConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), OverlayError> {
-        if !(self.min_rate > 0.0) || !self.min_rate.is_finite() {
+        if !self.min_rate.is_finite() || self.min_rate <= 0.0 {
             return Err(OverlayError::InvalidBandwidth {
                 message: format!("min_rate {} must be positive and finite", self.min_rate),
             });

@@ -99,7 +99,11 @@ impl Overlay {
 
     /// Overrides the bandwidth of one peer.  Used to install sources (zero
     /// inbound, large outbound).
-    pub fn set_bandwidth(&mut self, peer: PeerId, bandwidth: PeerBandwidth) -> Result<(), OverlayError> {
+    pub fn set_bandwidth(
+        &mut self,
+        peer: PeerId,
+        bandwidth: PeerBandwidth,
+    ) -> Result<(), OverlayError> {
         match self.attrs.get_mut(peer as usize) {
             Some(a) => {
                 a.bandwidth = bandwidth;
@@ -248,7 +252,9 @@ mod tests {
 
     #[test]
     fn build_reaches_min_degree_five() {
-        let overlay = OverlayBuilder::paper_default().build(&trace(500, 1)).unwrap();
+        let overlay = OverlayBuilder::paper_default()
+            .build(&trace(500, 1))
+            .unwrap();
         assert_eq!(overlay.active_count(), 500);
         assert!(overlay.graph().min_degree().unwrap() >= 5);
         assert_eq!(overlay.name, "t500");
@@ -263,7 +269,9 @@ mod tests {
 
     #[test]
     fn bandwidths_are_sampled_in_range() {
-        let overlay = OverlayBuilder::paper_default().build(&trace(400, 2)).unwrap();
+        let overlay = OverlayBuilder::paper_default()
+            .build(&trace(400, 2))
+            .unwrap();
         for p in overlay.active_peers() {
             let bw = overlay.attrs(p).unwrap().bandwidth;
             assert!(bw.inbound >= 10.0 && bw.inbound <= 33.0);
@@ -273,7 +281,9 @@ mod tests {
 
     #[test]
     fn overlay_is_connected_enough_for_streaming() {
-        let overlay = OverlayBuilder::paper_default().build(&trace(1_000, 3)).unwrap();
+        let overlay = OverlayBuilder::paper_default()
+            .build(&trace(1_000, 3))
+            .unwrap();
         let start = overlay.active_peers().next().unwrap();
         let reachable = overlay.graph().reachable_from(start);
         assert!(
@@ -285,14 +295,18 @@ mod tests {
 
     #[test]
     fn too_small_trace_is_rejected() {
-        let err = OverlayBuilder::paper_default().build(&trace(4, 1)).unwrap_err();
+        let err = OverlayBuilder::paper_default()
+            .build(&trace(4, 1))
+            .unwrap_err();
         assert!(matches!(err, OverlayError::DegreeUnachievable { .. }));
     }
 
     #[test]
     fn invalid_configs_are_rejected_at_construction() {
-        let mut cfg = OverlayConfig::default();
-        cfg.min_degree = 0;
+        let cfg = OverlayConfig {
+            min_degree: 0,
+            ..OverlayConfig::default()
+        };
         assert!(OverlayBuilder::new(cfg).is_err());
         let mut cfg = OverlayConfig::default();
         cfg.bandwidth.mean_rate = 5.0;
@@ -301,7 +315,9 @@ mod tests {
 
     #[test]
     fn set_bandwidth_installs_a_source() {
-        let mut overlay = OverlayBuilder::paper_default().build(&trace(100, 4)).unwrap();
+        let mut overlay = OverlayBuilder::paper_default()
+            .build(&trace(100, 4))
+            .unwrap();
         let source = overlay.active_peers().next().unwrap();
         let src_bw = overlay.config().bandwidth.source_peer();
         overlay.set_bandwidth(source, src_bw).unwrap();
@@ -311,7 +327,9 @@ mod tests {
 
     #[test]
     fn add_and_remove_peers_dynamically() {
-        let mut overlay = OverlayBuilder::paper_default().build(&trace(50, 5)).unwrap();
+        let mut overlay = OverlayBuilder::paper_default()
+            .build(&trace(50, 5))
+            .unwrap();
         let neighbours: Vec<PeerId> = overlay.active_peers().take(5).collect();
         let attrs = PeerAttrs {
             ping_ms: 70.0,

@@ -50,7 +50,9 @@ mod tests {
 
     #[test]
     fn messages_mention_the_relevant_values() {
-        assert!(OverlayError::UnknownPeer { peer: 12 }.to_string().contains("12"));
+        assert!(OverlayError::UnknownPeer { peer: 12 }
+            .to_string()
+            .contains("12"));
         let e = OverlayError::DegreeUnachievable {
             requested: 5,
             peers: 3,

@@ -187,16 +187,23 @@ mod tests {
             engine.schedule_at(SimTime::from_secs(s), Ev::Tick(s as u32));
         }
         let mut count = 0;
-        let fired = engine.run_until(SimTime::from_secs(4), &mut |_ev, _s: &mut Scheduler<'_, Ev>| {
-            count += 1;
-        });
+        let fired = engine.run_until(
+            SimTime::from_secs(4),
+            &mut |_ev, _s: &mut Scheduler<'_, Ev>| {
+                count += 1;
+            },
+        );
         assert_eq!(fired, 4);
         assert_eq!(count, 4);
         assert_eq!(engine.pending(), 6);
         assert_eq!(engine.now(), SimTime::from_secs(4));
 
         // A deadline with no events still advances the observable clock.
-        let fired = engine.run_until(SimTime::from_millis(4_500), &mut |_ev, _s: &mut Scheduler<'_, Ev>| {});
+        let fired = engine.run_until(SimTime::from_millis(4_500), &mut |_ev,
+                                                                        _s: &mut Scheduler<
+            '_,
+            Ev,
+        >| {});
         assert_eq!(fired, 0);
         assert_eq!(engine.now(), SimTime::from_millis(4_500));
     }

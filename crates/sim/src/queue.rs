@@ -42,7 +42,8 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(ScheduledEvent::new(time, seq, payload)));
+        self.heap
+            .push(Reverse(ScheduledEvent::new(time, seq, payload)));
     }
 
     /// Removes and returns the earliest event, if any.

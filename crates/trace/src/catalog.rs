@@ -60,7 +60,9 @@ impl TraceCatalog {
                     nodes: size,
                     seed,
                 });
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(size as u64);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(size as u64);
             }
         }
         for r in ["a", "b"] {
@@ -151,7 +153,10 @@ mod tests {
         assert_eq!(spec.nodes, 1_000);
         assert_eq!(cat.by_size(1_000).len(), 5);
         assert_eq!(cat.by_size(7_777).len(), 0);
-        assert_eq!(cat.primary_for_size(4_000).unwrap().name, "clip2-synth-4000-a");
+        assert_eq!(
+            cat.primary_for_size(4_000).unwrap().name,
+            "clip2-synth-4000-a"
+        );
         assert!(cat.primary_for_size(1).is_none());
     }
 

@@ -63,8 +63,12 @@ mod tests {
         };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("bad port"));
-        assert!(TraceError::UnknownNode { node: 7 }.to_string().contains('7'));
-        assert!(TraceError::DuplicateNode { node: 9 }.to_string().contains('9'));
+        assert!(TraceError::UnknownNode { node: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(TraceError::DuplicateNode { node: 9 }
+            .to_string()
+            .contains('9'));
         assert!(TraceError::SelfLoop { node: 2 }.to_string().contains('2'));
         assert!(TraceError::Empty.to_string().contains("no nodes"));
     }

@@ -48,7 +48,7 @@ impl Default for GeneratorConfig {
             edges_per_node: 2,
             ping_median_ms: 80.0,
             ping_sigma: 0.6,
-            seed: 0xC1122_2001,
+            seed: 0xC11_222_001,
         }
     }
 }
@@ -243,9 +243,12 @@ mod tests {
     fn ping_times_are_positive_and_spread() {
         let t = gen(1_000, 5);
         let pings: Vec<f64> = t.nodes.iter().map(|n| n.ping_ms).collect();
-        assert!(pings.iter().all(|&p| p >= 1.0 && p <= 3_000.0));
+        assert!(pings.iter().all(|&p| (1.0..=3_000.0).contains(&p)));
         let mean = pings.iter().sum::<f64>() / pings.len() as f64;
-        assert!(mean > 40.0 && mean < 250.0, "mean ping {mean}ms implausible");
+        assert!(
+            mean > 40.0 && mean < 250.0,
+            "mean ping {mean}ms implausible"
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn main() {
     // (τ = 1 s, p = 10 segments/s, B = 600, Q = 10, Qs = 50, M = 5).
     let config = ScenarioConfig::paper(300, Algorithm::Fast, Environment::Static);
 
-    println!("running the fast and normal switch algorithms on {} nodes...", config.nodes);
+    println!(
+        "running the fast and normal switch algorithms on {} nodes...",
+        config.nodes
+    );
     let comparison = run_comparison(&config);
 
     let fast = &comparison.fast;

@@ -85,7 +85,9 @@ fn main() {
             .count();
         println!(
             "{:<22} {} old-source + {} new-source segments\n",
-            "", requests.len() - new, new
+            "",
+            requests.len() - new,
+            new
         );
     };
 

@@ -37,7 +37,11 @@ fn main() {
     // Three speaker changes, each measured independently.
     for round in 1..=3u32 {
         let next = participants[(round as usize * 61) % participants.len()];
-        let next = if next == speaker { participants[1] } else { next };
+        let next = if next == speaker {
+            participants[1]
+        } else {
+            next
+        };
         system.switch_source(next);
         let periods = system.run_until_switched(300);
         let summary = SwitchSummary::from_records(&system.report().switch_records);

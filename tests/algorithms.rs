@@ -135,12 +135,13 @@ fn end_to_end_fast_switch_is_not_slower_and_costs_no_extra_overhead() {
     let cmp = run_comparison(&base);
     assert!(cmp.fast.completed && cmp.normal.completed);
     // Identical workloads (same seeds) — identical backlog at the switch.
-    assert_eq!(cmp.fast.switch.countable_nodes, cmp.normal.switch.countable_nodes);
+    assert_eq!(
+        cmp.fast.switch.countable_nodes,
+        cmp.normal.switch.countable_nodes
+    );
     assert!((cmp.fast.switch.avg_q0 - cmp.normal.switch.avg_q0).abs() < 1e-9);
     // The fast algorithm prepares the new source at least as early …
-    assert!(
-        cmp.fast.switch.avg_prepare_new_secs <= cmp.normal.switch.avg_prepare_new_secs + 0.5
-    );
+    assert!(cmp.fast.switch.avg_prepare_new_secs <= cmp.normal.switch.avg_prepare_new_secs + 0.5);
     // … by delaying (never accelerating) the old stream's finish …
     assert!(cmp.fast.switch.avg_finish_old_secs + 0.5 >= cmp.normal.switch.avg_finish_old_secs);
     // … without extra communication overhead.

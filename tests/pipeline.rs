@@ -19,7 +19,10 @@ fn trace_round_trips_and_builds_a_streaming_overlay() {
         .build(&parsed)
         .expect("overlay builds");
     assert_eq!(overlay.active_count(), 150);
-    assert!(overlay.graph().min_degree().unwrap() >= 5, "paper's M = 5 rule");
+    assert!(
+        overlay.graph().min_degree().unwrap() >= 5,
+        "paper's M = 5 rule"
+    );
 }
 
 #[test]
@@ -29,8 +32,11 @@ fn full_switch_through_the_facade_completes_with_both_algorithms() {
         let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
         let peers: Vec<PeerId> = overlay.active_peers().collect();
 
-        let mut system =
-            StreamingSystem::new(overlay, GossipConfig::paper_default(), algorithm.scheduler());
+        let mut system = StreamingSystem::new(
+            overlay,
+            GossipConfig::paper_default(),
+            algorithm.scheduler(),
+        );
         system.start_initial_source(peers[0]);
         system.run_periods(25);
         system.switch_source(peers[40]);

@@ -1,0 +1,157 @@
+//! Offline stand-in for `bytes` 1.x: the subset this workspace uses
+//! (big-endian u32/u64 cursored reads and writes).  See `vendor/README.md`.
+
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Read position: `get_*` consume from the front, like the real crate's
+    /// advancing `Buf` cursor.
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(bytes.to_vec()),
+            pos: 0,
+        }
+    }
+
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow: {} < {n}", self.len());
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..start + n]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(data),
+            pos: 0,
+        }
+    }
+}
+
+/// Growable byte buffer for message construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Cursored big-endian reads (the subset of `bytes::Buf` used in-tree).
+pub trait Buf {
+    /// Reads a big-endian `u32`, advancing the cursor.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian `u64`, advancing the cursor.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for Bytes {
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+/// Big-endian writes (the subset of `bytes::BufMut` used in-tree).
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut out = BytesMut::with_capacity(12);
+        out.put_u64(0xDEAD_BEEF_0123_4567);
+        out.put_u32(42);
+        assert_eq!(out.len(), 12);
+        let mut bytes = out.freeze();
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(bytes.get_u64(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(bytes.get_u32(), 42);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn clones_have_independent_cursors() {
+        let mut a = BytesMut::new();
+        a.put_u32(7);
+        a.put_u32(9);
+        let mut x = a.freeze();
+        let mut y = x.clone();
+        assert_eq!(x.get_u32(), 7);
+        assert_eq!(y.get_u32(), 7);
+        assert_eq!(x.get_u32(), 9);
+        assert_eq!(y.get_u32(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        Bytes::from_static(&[1, 2, 3]).get_u32();
+    }
+}

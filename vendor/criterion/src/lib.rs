@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`: wall-clock micro-benchmarking with the
+//! API subset this workspace uses.  Each benchmark is calibrated to a small
+//! time budget, then timed over a fixed iteration count; results print as
+//! one line per benchmark (`name ... time per iter`).  See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimiser from deleting a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `BenchmarkId::new("greedy_assign", 400)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    pub(crate) last_ns_per_iter: f64,
+    pub(crate) measurement_budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: run once to estimate the per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Fit as many iterations as the budget allows, bounded to [1, 10_000].
+        let iters = (self.measurement_budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+
+    /// The mean nanoseconds per iteration of the last `iter` call.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.last_ns_per_iter
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the stand-in sizes runs by time budget instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility knob shrinking the per-benchmark time budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.measurement_budget = budget;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_named(&full, f);
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_named(&full, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_budget: Duration,
+    /// `(name, ns_per_iter)` pairs of every benchmark run.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` forwards trailing args; honour a plain
+        // substring filter and ignore flag-style arguments.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            measurement_budget: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run_named(&name.to_string(), f);
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            last_ns_per_iter: 0.0,
+            measurement_budget: self.measurement_budget,
+        };
+        f(&mut bencher);
+        println!(
+            "bench: {name:<50} {:>12}/iter",
+            format_time(bencher.last_ns_per_iter)
+        );
+        self.results
+            .push((name.to_string(), bencher.last_ns_per_iter));
+    }
+}
+
+/// Declares the function bundling a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    #[test]
+    fn runs_and_records_results() {
+        let mut criterion = Criterion {
+            filter: None,
+            measurement_budget: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        spin(&mut criterion);
+        assert_eq!(criterion.results.len(), 3);
+        assert!(criterion.results.iter().all(|(_, ns)| *ns > 0.0));
+        assert!(criterion.results[0].0.starts_with("demo/"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            filter: Some("sum_to".into()),
+            measurement_budget: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        spin(&mut criterion);
+        assert_eq!(criterion.results.len(), 1);
+        assert!(criterion.results[0].0.contains("sum_to"));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(12.3).contains("ns"));
+        assert!(format_time(12_300.0).contains("µs"));
+        assert!(format_time(12_300_000.0).contains("ms"));
+        assert!(format_time(2_000_000_000.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam`: scoped threads over
+//! `std::thread::scope`.  See `vendor/README.md`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// The scope handle passed to the closure of [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Argument handed to spawned closures (crossbeam passes the scope so
+    /// workers can spawn recursively; this stand-in supports only the
+    /// non-recursive `|_| ...` form used in-tree).
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope(());
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope(()))),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; returns once every spawned thread has finished.
+    ///
+    /// Unlike crossbeam, a panicking worker propagates the panic out of
+    /// `scope` (std semantics) instead of surfacing it through `Err`; in-tree
+    /// callers `.expect()` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, data.iter().sum());
+    }
+}

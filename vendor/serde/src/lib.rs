@@ -1,0 +1,10 @@
+//! Offline stand-in for the serde facade: marker traits plus the no-op
+//! derive macros from `serde_derive`.  See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

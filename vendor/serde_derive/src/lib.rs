@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! Nothing in this workspace serialises through serde (the derives are kept
+//! on the public data types so downstream users compile against the familiar
+//! bounds), so the derive expansion is intentionally empty.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing: the in-tree code never calls serialisation methods.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing: the in-tree code never calls deserialisation methods.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
