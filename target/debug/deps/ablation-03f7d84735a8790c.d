@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-03f7d84735a8790c.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-03f7d84735a8790c: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

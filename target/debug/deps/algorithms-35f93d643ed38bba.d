@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-35f93d643ed38bba.d: tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-35f93d643ed38bba: tests/algorithms.rs
+
+tests/algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-76db742b473b6870.d: tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-76db742b473b6870: tests/algorithms.rs
+
+tests/algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithms-8382d2bf42020eb1.d: tests/algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms-8382d2bf42020eb1.rmeta: tests/algorithms.rs Cargo.toml
+
+tests/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-86e7a57f513b6e89.d: tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-86e7a57f513b6e89: tests/algorithms.rs
+
+tests/algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dup_req_check-fbfad055647b6234.d: crates/gossip/tests/dup_req_check.rs
+
+/root/repo/target/debug/deps/dup_req_check-fbfad055647b6234: crates/gossip/tests/dup_req_check.rs
+
+crates/gossip/tests/dup_req_check.rs:

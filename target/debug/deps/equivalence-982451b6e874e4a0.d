@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-982451b6e874e4a0.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-982451b6e874e4a0: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-b2273780fe7f6dc1.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-b2273780fe7f6dc1: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fast_source_switching-009fe7df0f04543f.d: src/lib.rs
+
+/root/repo/target/debug/deps/fast_source_switching-009fe7df0f04543f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fast_source_switching-0f4510e818e36f5c.d: src/lib.rs
+
+/root/repo/target/debug/deps/fast_source_switching-0f4510e818e36f5c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fast_source_switching-46599f2ae7a59793.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfast_source_switching-46599f2ae7a59793.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfast_source_switching-46599f2ae7a59793.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fast_source_switching-690d67d7711c861e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfast_source_switching-690d67d7711c861e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfast_source_switching-690d67d7711c861e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fast_source_switching-8b9ef1df4475ff92.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfast_source_switching-8b9ef1df4475ff92.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfast_source_switching-8b9ef1df4475ff92.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fast_source_switching-daf81eb47dc296f0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfast_source_switching-daf81eb47dc296f0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fast_source_switching-f1dc08b5ced7173a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfast_source_switching-f1dc08b5ced7173a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fast_source_switching-ffb605e65c1c3a10.d: src/lib.rs
+
+/root/repo/target/debug/deps/fast_source_switching-ffb605e65c1c3a10: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-2aa84d8d19fcb9aa.d: crates/experiments/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-2aa84d8d19fcb9aa.rmeta: crates/experiments/src/bin/figures.rs Cargo.toml
+
+crates/experiments/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

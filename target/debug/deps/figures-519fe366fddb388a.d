@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-519fe366fddb388a.d: crates/experiments/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-519fe366fddb388a: crates/experiments/src/bin/figures.rs
+
+crates/experiments/src/bin/figures.rs:

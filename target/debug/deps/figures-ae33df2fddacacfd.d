@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ae33df2fddacacfd.d: crates/experiments/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ae33df2fddacacfd: crates/experiments/src/bin/figures.rs
+
+crates/experiments/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ba5acca989375415.d: crates/experiments/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ba5acca989375415: crates/experiments/src/bin/figures.rs
+
+crates/experiments/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-bada0448920ebb98.d: crates/experiments/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-bada0448920ebb98.rmeta: crates/experiments/src/bin/figures.rs Cargo.toml
+
+crates/experiments/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

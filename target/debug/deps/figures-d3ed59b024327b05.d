@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-d3ed59b024327b05.d: crates/experiments/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-d3ed59b024327b05: crates/experiments/src/bin/figures.rs
+
+crates/experiments/src/bin/figures.rs:

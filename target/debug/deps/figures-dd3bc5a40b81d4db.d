@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-dd3bc5a40b81d4db.d: crates/experiments/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-dd3bc5a40b81d4db.rmeta: crates/experiments/src/bin/figures.rs Cargo.toml
+
+crates/experiments/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

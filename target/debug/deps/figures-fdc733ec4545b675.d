@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-fdc733ec4545b675.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-fdc733ec4545b675: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fss_bench-061bf7c2de58bea7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_bench-061bf7c2de58bea7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

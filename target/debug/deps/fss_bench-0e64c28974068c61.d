@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fss_bench-0e64c28974068c61.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fss_bench-0e64c28974068c61: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

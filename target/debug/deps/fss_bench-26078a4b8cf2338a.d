@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fss_bench-26078a4b8cf2338a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfss_bench-26078a4b8cf2338a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfss_bench-26078a4b8cf2338a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

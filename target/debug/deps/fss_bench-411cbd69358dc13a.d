@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fss_bench-411cbd69358dc13a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fss_bench-411cbd69358dc13a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fss_bench-5c5839e2aa8de58b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfss_bench-5c5839e2aa8de58b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfss_bench-5c5839e2aa8de58b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

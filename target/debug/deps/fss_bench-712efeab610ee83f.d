@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fss_bench-712efeab610ee83f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fss_bench-712efeab610ee83f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fss_bench-ccb5137b4d56ad15.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_bench-ccb5137b4d56ad15.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

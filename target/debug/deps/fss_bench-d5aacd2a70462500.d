@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fss_bench-d5aacd2a70462500.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fss_bench-d5aacd2a70462500: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

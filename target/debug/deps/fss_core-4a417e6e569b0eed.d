@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fss_core-4a417e6e569b0eed.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_core-4a417e6e569b0eed.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/assign.rs:
+crates/core/src/fast.rs:
+crates/core/src/model.rs:
+crates/core/src/normal.rs:
+crates/core/src/optimal.rs:
+crates/core/src/priority.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

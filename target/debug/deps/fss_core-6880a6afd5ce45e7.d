@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fss_core-6880a6afd5ce45e7.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+/root/repo/target/debug/deps/fss_core-6880a6afd5ce45e7: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/assign.rs:
+crates/core/src/fast.rs:
+crates/core/src/model.rs:
+crates/core/src/normal.rs:
+crates/core/src/optimal.rs:
+crates/core/src/priority.rs:

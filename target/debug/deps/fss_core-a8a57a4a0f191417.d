@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fss_core-a8a57a4a0f191417.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+/root/repo/target/debug/deps/fss_core-a8a57a4a0f191417: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/assign.rs:
+crates/core/src/fast.rs:
+crates/core/src/model.rs:
+crates/core/src/normal.rs:
+crates/core/src/optimal.rs:
+crates/core/src/priority.rs:

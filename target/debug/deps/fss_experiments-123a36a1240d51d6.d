@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fss_experiments-123a36a1240d51d6.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_experiments-123a36a1240d51d6.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/sweeps.rs:
+crates/experiments/src/figures/tracks.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenario.rs:
+crates/experiments/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fss_experiments-7c56ddf93d579851.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/debug/deps/libfss_experiments-7c56ddf93d579851.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/debug/deps/libfss_experiments-7c56ddf93d579851.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/sweeps.rs:
+crates/experiments/src/figures/tracks.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenario.rs:
+crates/experiments/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fss_experiments-8db64b27d09e4645.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/debug/deps/libfss_experiments-8db64b27d09e4645.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/debug/deps/libfss_experiments-8db64b27d09e4645.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/sweeps.rs:
+crates/experiments/src/figures/tracks.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenario.rs:
+crates/experiments/src/sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fss_experiments-aa5fcd588fff563e.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/debug/deps/fss_experiments-aa5fcd588fff563e: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/sweeps.rs:
+crates/experiments/src/figures/tracks.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenario.rs:
+crates/experiments/src/sweep.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fss_gossip-be6989c0b38cc8ed.d: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/hasher.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/scratch.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_gossip-be6989c0b38cc8ed.rmeta: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/hasher.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/scratch.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs Cargo.toml
+
+crates/gossip/src/lib.rs:
+crates/gossip/src/buffer.rs:
+crates/gossip/src/buffermap.rs:
+crates/gossip/src/config.rs:
+crates/gossip/src/hasher.rs:
+crates/gossip/src/membership.rs:
+crates/gossip/src/peer.rs:
+crates/gossip/src/playback.rs:
+crates/gossip/src/scheduler.rs:
+crates/gossip/src/scratch.rs:
+crates/gossip/src/segment.rs:
+crates/gossip/src/stats.rs:
+crates/gossip/src/system.rs:
+crates/gossip/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fss_gossip-c60a9bd2b74bba9a.d: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs
+
+/root/repo/target/debug/deps/fss_gossip-c60a9bd2b74bba9a: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs
+
+crates/gossip/src/lib.rs:
+crates/gossip/src/buffer.rs:
+crates/gossip/src/buffermap.rs:
+crates/gossip/src/config.rs:
+crates/gossip/src/membership.rs:
+crates/gossip/src/peer.rs:
+crates/gossip/src/playback.rs:
+crates/gossip/src/scheduler.rs:
+crates/gossip/src/segment.rs:
+crates/gossip/src/stats.rs:
+crates/gossip/src/system.rs:
+crates/gossip/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fss_metrics-0d1e245fde9c3aa1.d: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/fss_metrics-0d1e245fde9c3aa1: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/overhead.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/switch.rs:
+crates/metrics/src/timeseries.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fss_metrics-1eff79975ea2c7f9.d: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/fss_metrics-1eff79975ea2c7f9: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/overhead.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/switch.rs:
+crates/metrics/src/timeseries.rs:

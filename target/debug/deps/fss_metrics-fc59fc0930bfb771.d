@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fss_metrics-fc59fc0930bfb771.d: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_metrics-fc59fc0930bfb771.rmeta: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/overhead.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/switch.rs:
+crates/metrics/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

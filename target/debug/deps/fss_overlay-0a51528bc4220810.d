@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fss_overlay-0a51528bc4220810.d: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_overlay-0a51528bc4220810.rmeta: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs Cargo.toml
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/bandwidth.rs:
+crates/overlay/src/builder.rs:
+crates/overlay/src/churn.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/graph.rs:
+crates/overlay/src/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

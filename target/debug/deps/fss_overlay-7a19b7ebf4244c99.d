@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fss_overlay-7a19b7ebf4244c99.d: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+/root/repo/target/debug/deps/libfss_overlay-7a19b7ebf4244c99.rlib: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+/root/repo/target/debug/deps/libfss_overlay-7a19b7ebf4244c99.rmeta: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/bandwidth.rs:
+crates/overlay/src/builder.rs:
+crates/overlay/src/churn.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/graph.rs:
+crates/overlay/src/latency.rs:

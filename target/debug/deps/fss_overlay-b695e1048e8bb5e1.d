@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fss_overlay-b695e1048e8bb5e1.d: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+/root/repo/target/debug/deps/fss_overlay-b695e1048e8bb5e1: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/bandwidth.rs:
+crates/overlay/src/builder.rs:
+crates/overlay/src/churn.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/graph.rs:
+crates/overlay/src/latency.rs:

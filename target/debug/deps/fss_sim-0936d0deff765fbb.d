@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fss_sim-0936d0deff765fbb.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/period.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_sim-0936d0deff765fbb.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/period.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/period.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

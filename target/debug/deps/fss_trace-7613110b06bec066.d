@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fss_trace-7613110b06bec066.d: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/debug/deps/libfss_trace-7613110b06bec066.rlib: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/debug/deps/libfss_trace-7613110b06bec066.rmeta: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/catalog.rs:
+crates/trace/src/error.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/parser.rs:
+crates/trace/src/record.rs:
+crates/trace/src/speed.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fss_trace-8b14017400b3f740.d: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfss_trace-8b14017400b3f740.rmeta: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/catalog.rs:
+crates/trace/src/error.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/parser.rs:
+crates/trace/src/record.rs:
+crates/trace/src/speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fss_trace-d4d53461dd32ef0c.d: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/debug/deps/libfss_trace-d4d53461dd32ef0c.rlib: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/debug/deps/libfss_trace-d4d53461dd32ef0c.rmeta: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/catalog.rs:
+crates/trace/src/error.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/parser.rs:
+crates/trace/src/record.rs:
+crates/trace/src/speed.rs:

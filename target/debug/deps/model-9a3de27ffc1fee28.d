@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-9a3de27ffc1fee28.d: crates/bench/benches/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-9a3de27ffc1fee28.rmeta: crates/bench/benches/model.rs Cargo.toml
+
+crates/bench/benches/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

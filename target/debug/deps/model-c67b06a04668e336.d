@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-c67b06a04668e336.d: crates/bench/benches/model.rs
+
+/root/repo/target/debug/deps/model-c67b06a04668e336: crates/bench/benches/model.rs
+
+crates/bench/benches/model.rs:

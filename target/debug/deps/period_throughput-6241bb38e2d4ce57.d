@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/period_throughput-6241bb38e2d4ce57.d: crates/bench/benches/period_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperiod_throughput-6241bb38e2d4ce57.rmeta: crates/bench/benches/period_throughput.rs Cargo.toml
+
+crates/bench/benches/period_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

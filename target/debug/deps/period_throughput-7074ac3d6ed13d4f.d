@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/period_throughput-7074ac3d6ed13d4f.d: crates/bench/benches/period_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperiod_throughput-7074ac3d6ed13d4f.rmeta: crates/bench/benches/period_throughput.rs Cargo.toml
+
+crates/bench/benches/period_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/period_throughput-ec05ebebee8ea0d5.d: crates/bench/benches/period_throughput.rs
+
+/root/repo/target/debug/deps/period_throughput-ec05ebebee8ea0d5: crates/bench/benches/period_throughput.rs
+
+crates/bench/benches/period_throughput.rs:

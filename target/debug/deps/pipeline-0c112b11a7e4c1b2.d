@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-0c112b11a7e4c1b2.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-0c112b11a7e4c1b2: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-2925903e1f9e90c1.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-2925903e1f9e90c1: tests/pipeline.rs
+
+tests/pipeline.rs:

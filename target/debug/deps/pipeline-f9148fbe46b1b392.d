@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f9148fbe46b1b392.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f9148fbe46b1b392: tests/pipeline.rs
+
+tests/pipeline.rs:

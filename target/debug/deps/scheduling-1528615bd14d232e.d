@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling-1528615bd14d232e.d: crates/bench/benches/scheduling.rs
+
+/root/repo/target/debug/deps/scheduling-1528615bd14d232e: crates/bench/benches/scheduling.rs
+
+crates/bench/benches/scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-7a60efa692a4d5dd.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-7a60efa692a4d5dd: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

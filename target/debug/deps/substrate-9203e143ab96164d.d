@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-9203e143ab96164d.d: crates/bench/benches/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-9203e143ab96164d.rmeta: crates/bench/benches/substrate.rs Cargo.toml
+
+crates/bench/benches/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

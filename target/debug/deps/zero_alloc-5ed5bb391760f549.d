@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-5ed5bb391760f549.d: crates/bench/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-5ed5bb391760f549: crates/bench/tests/zero_alloc.rs
+
+crates/bench/tests/zero_alloc.rs:

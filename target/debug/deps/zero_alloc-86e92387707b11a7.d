@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-86e92387707b11a7.d: crates/bench/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-86e92387707b11a7.rmeta: crates/bench/tests/zero_alloc.rs Cargo.toml
+
+crates/bench/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-870815ad32ff6a4b.d: crates/bench/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-870815ad32ff6a4b: crates/bench/tests/zero_alloc.rs
+
+crates/bench/tests/zero_alloc.rs:

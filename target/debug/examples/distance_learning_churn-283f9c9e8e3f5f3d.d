@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distance_learning_churn-283f9c9e8e3f5f3d.d: examples/distance_learning_churn.rs
+
+/root/repo/target/debug/examples/distance_learning_churn-283f9c9e8e3f5f3d: examples/distance_learning_churn.rs
+
+examples/distance_learning_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distance_learning_churn-487c3836b2a4fb49.d: examples/distance_learning_churn.rs
+
+/root/repo/target/debug/examples/distance_learning_churn-487c3836b2a4fb49: examples/distance_learning_churn.rs
+
+examples/distance_learning_churn.rs:

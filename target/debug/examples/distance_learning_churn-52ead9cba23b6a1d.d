@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distance_learning_churn-52ead9cba23b6a1d.d: examples/distance_learning_churn.rs
+
+/root/repo/target/debug/examples/distance_learning_churn-52ead9cba23b6a1d: examples/distance_learning_churn.rs
+
+examples/distance_learning_churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distance_learning_churn-bd45e690dc6d8ba6.d: examples/distance_learning_churn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistance_learning_churn-bd45e690dc6d8ba6.rmeta: examples/distance_learning_churn.rs Cargo.toml
+
+examples/distance_learning_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

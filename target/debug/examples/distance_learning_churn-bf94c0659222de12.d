@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distance_learning_churn-bf94c0659222de12.d: examples/distance_learning_churn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistance_learning_churn-bf94c0659222de12.rmeta: examples/distance_learning_churn.rs Cargo.toml
+
+examples/distance_learning_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-85569c30630e8c9a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-85569c30630e8c9a: examples/quickstart.rs
+
+examples/quickstart.rs:

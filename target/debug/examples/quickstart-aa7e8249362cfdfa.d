@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aa7e8249362cfdfa.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aa7e8249362cfdfa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e79f3da2adfef6f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e79f3da2adfef6f5: examples/quickstart.rs
+
+examples/quickstart.rs:

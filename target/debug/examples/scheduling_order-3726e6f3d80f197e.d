@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduling_order-3726e6f3d80f197e.d: examples/scheduling_order.rs
+
+/root/repo/target/debug/examples/scheduling_order-3726e6f3d80f197e: examples/scheduling_order.rs
+
+examples/scheduling_order.rs:

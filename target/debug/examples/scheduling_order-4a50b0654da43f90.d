@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduling_order-4a50b0654da43f90.d: examples/scheduling_order.rs
+
+/root/repo/target/debug/examples/scheduling_order-4a50b0654da43f90: examples/scheduling_order.rs
+
+examples/scheduling_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduling_order-8677cb67b91be54c.d: examples/scheduling_order.rs
+
+/root/repo/target/debug/examples/scheduling_order-8677cb67b91be54c: examples/scheduling_order.rs
+
+examples/scheduling_order.rs:

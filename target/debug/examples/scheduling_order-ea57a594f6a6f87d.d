@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduling_order-ea57a594f6a6f87d.d: examples/scheduling_order.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduling_order-ea57a594f6a6f87d.rmeta: examples/scheduling_order.rs Cargo.toml
+
+examples/scheduling_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduling_order-f75792cff9e14605.d: examples/scheduling_order.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduling_order-f75792cff9e14605.rmeta: examples/scheduling_order.rs Cargo.toml
+
+examples/scheduling_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

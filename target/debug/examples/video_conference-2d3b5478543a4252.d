@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/video_conference-2d3b5478543a4252.d: examples/video_conference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideo_conference-2d3b5478543a4252.rmeta: examples/video_conference.rs Cargo.toml
+
+examples/video_conference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_conference-7d28c7fc490ce0ec.d: examples/video_conference.rs
+
+/root/repo/target/debug/examples/video_conference-7d28c7fc490ce0ec: examples/video_conference.rs
+
+examples/video_conference.rs:

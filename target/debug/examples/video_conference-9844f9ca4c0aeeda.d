@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_conference-9844f9ca4c0aeeda.d: examples/video_conference.rs
+
+/root/repo/target/debug/examples/video_conference-9844f9ca4c0aeeda: examples/video_conference.rs
+
+examples/video_conference.rs:

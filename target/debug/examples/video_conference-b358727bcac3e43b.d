@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_conference-b358727bcac3e43b.d: examples/video_conference.rs
+
+/root/repo/target/debug/examples/video_conference-b358727bcac3e43b: examples/video_conference.rs
+
+examples/video_conference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-0b4e9c3a19319ac9.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-0b4e9c3a19319ac9: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

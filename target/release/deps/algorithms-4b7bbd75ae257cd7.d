@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algorithms-4b7bbd75ae257cd7.d: tests/algorithms.rs
+
+/root/repo/target/release/deps/algorithms-4b7bbd75ae257cd7: tests/algorithms.rs
+
+tests/algorithms.rs:

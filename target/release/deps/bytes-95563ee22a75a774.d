@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-95563ee22a75a774.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-95563ee22a75a774: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

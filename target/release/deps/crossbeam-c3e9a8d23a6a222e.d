@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-c3e9a8d23a6a222e.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-c3e9a8d23a6a222e: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fast_source_switching-20ad63136ed1ecad.d: src/lib.rs
+
+/root/repo/target/release/deps/fast_source_switching-20ad63136ed1ecad: src/lib.rs
+
+src/lib.rs:

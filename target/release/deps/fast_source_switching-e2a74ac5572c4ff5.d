@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fast_source_switching-e2a74ac5572c4ff5.d: src/lib.rs
+
+/root/repo/target/release/deps/libfast_source_switching-e2a74ac5572c4ff5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfast_source_switching-e2a74ac5572c4ff5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-3a5ac1a88e052b14.d: crates/experiments/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-3a5ac1a88e052b14: crates/experiments/src/bin/figures.rs
+
+crates/experiments/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-dc4ad688776e845b.d: crates/experiments/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-dc4ad688776e845b: crates/experiments/src/bin/figures.rs
+
+crates/experiments/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-e2818c83d99b739e.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-e2818c83d99b739e: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fss_bench-35b91712dcf85415.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/fss_bench-35b91712dcf85415: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fss_bench-4cd99e53ddb026f7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfss_bench-4cd99e53ddb026f7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfss_bench-4cd99e53ddb026f7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

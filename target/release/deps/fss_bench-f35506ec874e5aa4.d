@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fss_bench-f35506ec874e5aa4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfss_bench-f35506ec874e5aa4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfss_bench-f35506ec874e5aa4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

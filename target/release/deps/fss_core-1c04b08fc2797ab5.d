@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fss_core-1c04b08fc2797ab5.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+/root/repo/target/release/deps/fss_core-1c04b08fc2797ab5: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/assign.rs:
+crates/core/src/fast.rs:
+crates/core/src/model.rs:
+crates/core/src/normal.rs:
+crates/core/src/optimal.rs:
+crates/core/src/priority.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fss_core-7c59cea3e599534e.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+/root/repo/target/release/deps/libfss_core-7c59cea3e599534e.rlib: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+/root/repo/target/release/deps/libfss_core-7c59cea3e599534e.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/assign.rs crates/core/src/fast.rs crates/core/src/model.rs crates/core/src/normal.rs crates/core/src/optimal.rs crates/core/src/priority.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/assign.rs:
+crates/core/src/fast.rs:
+crates/core/src/model.rs:
+crates/core/src/normal.rs:
+crates/core/src/optimal.rs:
+crates/core/src/priority.rs:

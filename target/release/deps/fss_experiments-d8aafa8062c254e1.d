@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fss_experiments-d8aafa8062c254e1.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/release/deps/libfss_experiments-d8aafa8062c254e1.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+/root/repo/target/release/deps/libfss_experiments-d8aafa8062c254e1.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/sweeps.rs crates/experiments/src/figures/tracks.rs crates/experiments/src/runner.rs crates/experiments/src/scenario.rs crates/experiments/src/sweep.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/sweeps.rs:
+crates/experiments/src/figures/tracks.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenario.rs:
+crates/experiments/src/sweep.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fss_gossip-f1d60aaa07501152.d: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/hasher.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/scratch.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs
+
+/root/repo/target/release/deps/libfss_gossip-f1d60aaa07501152.rlib: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/hasher.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/scratch.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs
+
+/root/repo/target/release/deps/libfss_gossip-f1d60aaa07501152.rmeta: crates/gossip/src/lib.rs crates/gossip/src/buffer.rs crates/gossip/src/buffermap.rs crates/gossip/src/config.rs crates/gossip/src/hasher.rs crates/gossip/src/membership.rs crates/gossip/src/peer.rs crates/gossip/src/playback.rs crates/gossip/src/scheduler.rs crates/gossip/src/scratch.rs crates/gossip/src/segment.rs crates/gossip/src/stats.rs crates/gossip/src/system.rs crates/gossip/src/transfer.rs
+
+crates/gossip/src/lib.rs:
+crates/gossip/src/buffer.rs:
+crates/gossip/src/buffermap.rs:
+crates/gossip/src/config.rs:
+crates/gossip/src/hasher.rs:
+crates/gossip/src/membership.rs:
+crates/gossip/src/peer.rs:
+crates/gossip/src/playback.rs:
+crates/gossip/src/scheduler.rs:
+crates/gossip/src/scratch.rs:
+crates/gossip/src/segment.rs:
+crates/gossip/src/stats.rs:
+crates/gossip/src/system.rs:
+crates/gossip/src/transfer.rs:

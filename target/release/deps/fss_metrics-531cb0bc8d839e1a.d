@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fss_metrics-531cb0bc8d839e1a.d: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libfss_metrics-531cb0bc8d839e1a.rlib: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libfss_metrics-531cb0bc8d839e1a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/overhead.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/switch.rs:
+crates/metrics/src/timeseries.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fss_metrics-b8fa20a98cd2b592.d: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libfss_metrics-b8fa20a98cd2b592.rlib: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libfss_metrics-b8fa20a98cd2b592.rmeta: crates/metrics/src/lib.rs crates/metrics/src/overhead.rs crates/metrics/src/report.rs crates/metrics/src/summary.rs crates/metrics/src/switch.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/overhead.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/switch.rs:
+crates/metrics/src/timeseries.rs:

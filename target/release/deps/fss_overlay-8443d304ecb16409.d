@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fss_overlay-8443d304ecb16409.d: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+/root/repo/target/release/deps/fss_overlay-8443d304ecb16409: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/bandwidth.rs:
+crates/overlay/src/builder.rs:
+crates/overlay/src/churn.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/graph.rs:
+crates/overlay/src/latency.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fss_overlay-84503fbcc4c2d018.d: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+/root/repo/target/release/deps/libfss_overlay-84503fbcc4c2d018.rlib: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+/root/repo/target/release/deps/libfss_overlay-84503fbcc4c2d018.rmeta: crates/overlay/src/lib.rs crates/overlay/src/bandwidth.rs crates/overlay/src/builder.rs crates/overlay/src/churn.rs crates/overlay/src/error.rs crates/overlay/src/graph.rs crates/overlay/src/latency.rs
+
+crates/overlay/src/lib.rs:
+crates/overlay/src/bandwidth.rs:
+crates/overlay/src/builder.rs:
+crates/overlay/src/churn.rs:
+crates/overlay/src/error.rs:
+crates/overlay/src/graph.rs:
+crates/overlay/src/latency.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fss_sim-2e32c9282aa5d2d3.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/period.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libfss_sim-2e32c9282aa5d2d3.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/period.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libfss_sim-2e32c9282aa5d2d3.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/period.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/period.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fss_trace-223f57173b8dcd5e.d: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/release/deps/fss_trace-223f57173b8dcd5e: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/catalog.rs:
+crates/trace/src/error.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/parser.rs:
+crates/trace/src/record.rs:
+crates/trace/src/speed.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fss_trace-6d829e06500a51be.d: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/release/deps/libfss_trace-6d829e06500a51be.rlib: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+/root/repo/target/release/deps/libfss_trace-6d829e06500a51be.rmeta: crates/trace/src/lib.rs crates/trace/src/catalog.rs crates/trace/src/error.rs crates/trace/src/generator.rs crates/trace/src/parser.rs crates/trace/src/record.rs crates/trace/src/speed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/catalog.rs:
+crates/trace/src/error.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/parser.rs:
+crates/trace/src/record.rs:
+crates/trace/src/speed.rs:

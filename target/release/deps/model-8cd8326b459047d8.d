@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model-8cd8326b459047d8.d: crates/bench/benches/model.rs
+
+/root/repo/target/release/deps/model-8cd8326b459047d8: crates/bench/benches/model.rs
+
+crates/bench/benches/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/period_throughput-15457e14837cc8f6.d: crates/bench/benches/period_throughput.rs
+
+/root/repo/target/release/deps/period_throughput-15457e14837cc8f6: crates/bench/benches/period_throughput.rs
+
+crates/bench/benches/period_throughput.rs:

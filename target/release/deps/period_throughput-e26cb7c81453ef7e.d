@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/period_throughput-e26cb7c81453ef7e.d: crates/bench/benches/period_throughput.rs
+
+/root/repo/target/release/deps/period_throughput-e26cb7c81453ef7e: crates/bench/benches/period_throughput.rs
+
+crates/bench/benches/period_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-04ce7a979599afac.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-04ce7a979599afac: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-a201c86f7b3d9616.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-a201c86f7b3d9616: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b90440887196363b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b90440887196363b.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b90440887196363b.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

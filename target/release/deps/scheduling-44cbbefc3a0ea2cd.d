@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling-44cbbefc3a0ea2cd.d: crates/bench/benches/scheduling.rs
+
+/root/repo/target/release/deps/scheduling-44cbbefc3a0ea2cd: crates/bench/benches/scheduling.rs
+
+crates/bench/benches/scheduling.rs:

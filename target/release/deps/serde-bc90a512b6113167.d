@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-bc90a512b6113167.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-bc90a512b6113167: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

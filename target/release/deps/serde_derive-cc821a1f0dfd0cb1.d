@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-cc821a1f0dfd0cb1.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-cc821a1f0dfd0cb1: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

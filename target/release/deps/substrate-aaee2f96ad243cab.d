@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-aaee2f96ad243cab.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-aaee2f96ad243cab: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

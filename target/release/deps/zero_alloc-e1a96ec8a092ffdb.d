@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zero_alloc-e1a96ec8a092ffdb.d: crates/bench/tests/zero_alloc.rs
+
+/root/repo/target/release/deps/zero_alloc-e1a96ec8a092ffdb: crates/bench/tests/zero_alloc.rs
+
+crates/bench/tests/zero_alloc.rs:

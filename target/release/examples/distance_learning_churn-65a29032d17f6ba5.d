@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distance_learning_churn-65a29032d17f6ba5.d: examples/distance_learning_churn.rs
+
+/root/repo/target/release/examples/distance_learning_churn-65a29032d17f6ba5: examples/distance_learning_churn.rs
+
+examples/distance_learning_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/microbench-2eeb958d8a4db3ec.d: crates/bench/examples/microbench.rs
+
+/root/repo/target/release/examples/microbench-2eeb958d8a4db3ec: crates/bench/examples/microbench.rs
+
+crates/bench/examples/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6d3dc772fbca80ff.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6d3dc772fbca80ff: examples/quickstart.rs
+
+examples/quickstart.rs:

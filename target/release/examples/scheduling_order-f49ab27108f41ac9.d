@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scheduling_order-f49ab27108f41ac9.d: examples/scheduling_order.rs
+
+/root/repo/target/release/examples/scheduling_order-f49ab27108f41ac9: examples/scheduling_order.rs
+
+examples/scheduling_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/video_conference-033edb962b1977b5.d: examples/video_conference.rs
+
+/root/repo/target/release/examples/video_conference-033edb962b1977b5: examples/video_conference.rs
+
+examples/video_conference.rs:
