@@ -9,7 +9,10 @@
 //!   map-based transfer resolution;
 //! * `optimized_period` — the scratch-arena hot path (`step`): zero
 //!   steady-state allocation, dense PeerId indexing, word-level bitset
-//!   candidate intersection.
+//!   candidate intersection;
+//! * `optimized_period_1k_pool*` (with `--features parallel`) — the same
+//!   hot path with the scheduling sweep dispatched onto the persistent
+//!   `fss-runtime` worker pool (no thread spawns per period).
 //!
 //! The measured periods/second ratio is recorded in `BENCH_period.json`
 //! (acceptance target: ≥ 2×).
@@ -50,9 +53,20 @@ fn bench_period_throughput(c: &mut Criterion) {
 
     #[cfg(feature = "parallel")]
     {
+        let workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+        let pool = std::sync::Arc::new(fss_runtime::WorkerPool::new(workers));
         let mut sys = steady_system(1);
-        sys.set_parallelism(std::thread::available_parallelism().map_or(2, |n| n.get()));
-        group.bench_function("optimized_period_1k_parallel", |b| b.iter(|| sys.step()));
+        sys.set_parallelism(workers);
+        sys.set_executor(pool.as_executor());
+        group.bench_function("optimized_period_1k_pool", |b| b.iter(|| sys.step()));
+
+        // A deliberately oversubscribed pool (4 workers regardless of vCPUs)
+        // bounds the dispatch overhead the persistent pool adds per period.
+        let pool = std::sync::Arc::new(fss_runtime::WorkerPool::new(4));
+        let mut sys = steady_system(1);
+        sys.set_parallelism(4);
+        sys.set_executor(pool.as_executor());
+        group.bench_function("optimized_period_1k_pool4", |b| b.iter(|| sys.step()));
     }
 
     group.finish();

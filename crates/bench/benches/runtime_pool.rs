@@ -1,0 +1,78 @@
+//! Persistent pool vs per-period scoped spawn.
+//!
+//! Two questions, answered on whatever hardware runs this:
+//!
+//! * `dispatch/*` — what does *fanning out one period's worth of work* cost
+//!   through (a) the persistent [`WorkerPool`] (park/unpark, zero spawns)
+//!   versus (b) a fresh `std::thread::scope` spawn per call — the
+//!   pre-refactor design of the parallel scheduling sweep?  The workload
+//!   per chunk is a small fixed spin so the numbers isolate dispatch cost.
+//! * `session/*` — end-to-end: one period of a 4-channel zapping
+//!   [`SessionManager`] sharded over pools of 1 and 4 workers (identical
+//!   reports either way; on a 1-vCPU container the sizes should tie).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fss_core::FastSwitchScheduler;
+use fss_runtime::{SessionConfig, SessionManager, WorkerPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const CHUNKS: usize = 8;
+const SPIN: u64 = 2_000;
+
+/// A small deterministic spin standing in for one chunk of scheduling work.
+fn spin(sink: &AtomicU64, chunk: usize) {
+    let mut acc = chunk as u64 + 1;
+    for i in 0..SPIN {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    sink.fetch_xor(acc, Ordering::Relaxed);
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    let sink = AtomicU64::new(0);
+
+    let pool = WorkerPool::with_available_parallelism();
+    group.bench_function("persistent_pool", |b| {
+        b.iter(|| pool.execute(CHUNKS, &|i: usize| spin(&sink, i)))
+    });
+
+    group.bench_function("scoped_spawn", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for i in 0..CHUNKS {
+                    let sink = &sink;
+                    scope.spawn(move || spin(sink, i));
+                }
+            })
+        })
+    });
+
+    group.finish();
+}
+
+fn zapping_session(workers: usize) -> SessionManager {
+    let config = SessionConfig::paper_default(4, 100);
+    let mut manager = SessionManager::new(config, Arc::new(WorkerPool::new(workers)), || {
+        Box::new(FastSwitchScheduler::new())
+    });
+    manager.warmup(40);
+    manager
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+
+    let mut manager = zapping_session(1);
+    group.bench_function("zapping_period_4ch_pool1", |b| b.iter(|| manager.step()));
+
+    let mut manager = zapping_session(4);
+    group.bench_function("zapping_period_4ch_pool4", |b| b.iter(|| manager.step()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_session);
+criterion_main!(benches);

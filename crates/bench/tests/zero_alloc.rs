@@ -80,3 +80,49 @@ fn steady_state_period_loop_does_not_allocate() {
         "reference path should allocate (counter sanity check)"
     );
 }
+
+/// The same guarantee for the pool-backed parallel path: dispatching the
+/// scheduling sweep onto the persistent `fss-runtime` worker pool (raw
+/// job pointer under a mutex, chunk-stealing cursor, condvar parking) must
+/// not allocate either — the pool exists precisely to amortise all per-
+/// period costs away.
+///
+/// Only the main thread's allocations are deterministic to count (worker
+/// threads park/unpark on futexes, no heap), so the counting allocator
+/// tallies every thread — a worker-side allocation would fail the test too.
+#[cfg(feature = "parallel")]
+#[test]
+fn steady_state_pool_parallel_period_loop_does_not_allocate() {
+    use fss_runtime::WorkerPool;
+    use std::sync::Arc;
+
+    let trace = TraceGenerator::new(GeneratorConfig::sized(300, 22)).generate("zero-alloc-pool");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+
+    let pool = Arc::new(WorkerPool::new(4));
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.set_parallelism(4);
+    sys.set_executor(pool.as_executor());
+    sys.start_initial_source(source);
+
+    // Warm-up: scratch arenas and per-chunk worker slots reach their
+    // high-water marks; the pool's threads are long since spawned.
+    sys.run_periods(80);
+
+    let before = allocations();
+    sys.run_periods(20);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "pool-backed steady-state periods allocated {during} times; job dispatch must be allocation-free"
+    );
+
+    let report = sys.report();
+    assert_eq!(report.periods, 100);
+    assert!(report.traffic_total.data_bits > 0);
+}

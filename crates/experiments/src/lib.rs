@@ -5,8 +5,10 @@
 //! * [`runner`] — runs one scenario end to end and aggregates its metrics;
 //!   [`runner::run_comparison`] runs the fast and normal algorithms on the
 //!   *same* workload,
-//! * [`sweep`] — parallel sweeps over network sizes (crossbeam scoped
-//!   threads, one simulation per thread),
+//! * [`sweep`] — parallel sweeps over network sizes (chunks on the
+//!   persistent `fss-runtime` worker pool, one simulation per chunk),
+//! * [`zapping`] — the multi-channel channel-zapping workload (viewers
+//!   hopping between concurrent streams) and its channel-count sweep,
 //! * [`figures`] — one module per evaluation figure (5–12) producing the
 //!   table/series the paper plots.
 //!
@@ -19,7 +21,9 @@ pub mod figures;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
+pub mod zapping;
 
 pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};
-pub use sweep::{sweep_sizes, SweepPoint};
+pub use sweep::{sweep_sizes, sweep_sizes_on, SweepPoint};
+pub use zapping::{run_channel_zapping, sweep_channel_counts, ZappingScenario, ZappingSweepPoint};

@@ -1,11 +1,19 @@
 //! Parallel sweeps over network sizes.
 //!
 //! Each `(size, algorithm)` pair is an independent simulation, so the sweep
-//! fans them out over crossbeam scoped threads.  Every simulation uses its own
-//! deterministic seeds, so the parallel schedule cannot change any result.
+//! fans them out as chunks of one [`ScopedJob`] on the persistent
+//! [`WorkerPool`] — the same pool that backs the gossip scheduling sweep
+//! and the multi-channel session manager, so one set of threads serves the
+//! whole process.  Every simulation uses its own deterministic seeds and
+//! writes its result into its own chunk-indexed slot, so neither the pool
+//! size nor the chunk-stealing order can change any result.
+//!
+//! [`ScopedJob`]: fss_sim::ScopedJob
 
 use crate::runner::{run_scenario, ComparisonResult, RunResult};
 use crate::scenario::{Algorithm, Environment, ScenarioConfig};
+use fss_runtime::WorkerPool;
+use fss_sim::exec::DisjointSlots;
 
 /// The comparison at one network size.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,12 +31,23 @@ impl SweepPoint {
     }
 }
 
-/// Runs the fast and normal algorithms at every size in `sizes`, in parallel,
-/// and returns the results ordered by size.
+/// Runs the fast and normal algorithms at every size in `sizes`, in parallel
+/// on a machine-sized throwaway pool, and returns the results ordered by
+/// size.
 ///
 /// `base` provides everything except the size and algorithm (environment,
-/// warm-up, seeds...).
+/// warm-up, seeds...).  Prefer [`sweep_sizes_on`] when a pool already
+/// exists.
 pub fn sweep_sizes(sizes: &[usize], base: &ScenarioConfig) -> Vec<SweepPoint> {
+    sweep_sizes_on(&WorkerPool::with_available_parallelism(), sizes, base)
+}
+
+/// Like [`sweep_sizes`], but runs on the caller's persistent pool.
+pub fn sweep_sizes_on(
+    pool: &WorkerPool,
+    sizes: &[usize],
+    base: &ScenarioConfig,
+) -> Vec<SweepPoint> {
     let mut jobs: Vec<(usize, Algorithm)> = Vec::new();
     for &nodes in sizes {
         for algorithm in Algorithm::ALL {
@@ -36,25 +55,31 @@ pub fn sweep_sizes(sizes: &[usize], base: &ScenarioConfig) -> Vec<SweepPoint> {
         }
     }
 
-    let results: Vec<(usize, Algorithm, RunResult)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(nodes, algorithm)| {
-                let config = ScenarioConfig {
-                    nodes,
-                    algorithm,
-                    trace_seed: base.trace_seed ^ nodes as u64,
-                    ..*base
-                };
-                scope.spawn(move |_| (nodes, algorithm, run_scenario(&config)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+    let mut results: Vec<Option<RunResult>> = vec![None; jobs.len()];
+    {
+        let jobs = &jobs[..];
+        let slots = DisjointSlots::new(&mut results);
+        pool.execute(jobs.len(), &|chunk: usize| {
+            let (nodes, algorithm) = jobs[chunk];
+            let config = ScenarioConfig {
+                nodes,
+                algorithm,
+                trace_seed: base.trace_seed ^ nodes as u64,
+                ..*base
+            };
+            // SAFETY: chunk indices are unique per execute() run, so each
+            // result slot is written by exactly one worker.
+            let slot = unsafe { slots.slot(chunk) };
+            *slot = Some(run_scenario(&config));
+        });
+    }
+    let results: Vec<(usize, Algorithm, RunResult)> = jobs
+        .into_iter()
+        .zip(results)
+        .map(|((nodes, algorithm), result)| {
+            (nodes, algorithm, result.expect("sweep chunk completed"))
+        })
+        .collect();
 
     let mut points = Vec::with_capacity(sizes.len());
     for &nodes in sizes {
@@ -110,11 +135,20 @@ mod tests {
     }
 
     #[test]
-    fn sweep_is_deterministic() {
+    fn sweep_is_deterministic_across_pool_sizes() {
         let base = ScenarioConfig::quick(60, Algorithm::Fast, Environment::Static);
-        let a = sweep_sizes(&[60], &base);
-        let b = sweep_sizes(&[60], &base);
+        let a = sweep_sizes_on(&WorkerPool::new(1), &[60], &base);
+        let b = sweep_sizes_on(&WorkerPool::new(4), &[60], &base);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_reuses_a_shared_pool() {
+        let pool = WorkerPool::new(2);
+        let base = ScenarioConfig::quick(50, Algorithm::Fast, Environment::Static);
+        let first = sweep_sizes_on(&pool, &[50], &base);
+        let second = sweep_sizes_on(&pool, &[50], &base);
+        assert_eq!(first, second, "pool reuse must not change results");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! The channel-zapping workload: many concurrent channels, viewers hopping
+//! between them.
+//!
+//! The paper evaluates a *source switch inside one stream*; multi-channel
+//! systems (CliqueStream's clustered per-channel overlays, the live-
+//! entertainment setting of PAPERS.md) face the dual problem — a *viewer
+//! switching between streams* — which makes per-zap startup delay a
+//! first-class metric.  This module runs that workload on the
+//! `fss-runtime` [`SessionManager`] and sweeps it over the channel count,
+//! answering: how does zap latency behave as viewership spreads over more,
+//! smaller channels at constant total population?
+
+use crate::scenario::Algorithm;
+use fss_runtime::{RuntimeReport, SessionConfig, SessionManager, WorkerPool};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Configuration of one channel-zapping experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ZappingScenario {
+    /// The multi-channel session layout (channels, viewers, zap rate).
+    pub session: SessionConfig,
+    /// The scheduling policy every channel runs.
+    pub algorithm: Algorithm,
+    /// Zap-free periods to reach steady playback before measuring.
+    pub warmup_periods: u64,
+    /// Measured periods with the zapping workload active.
+    pub measure_periods: u64,
+}
+
+impl ZappingScenario {
+    /// Paper-flavoured defaults at a given channel count and per-channel
+    /// audience.
+    pub fn paper(channels: usize, viewers_per_channel: usize) -> Self {
+        ZappingScenario {
+            session: SessionConfig::paper_default(channels, viewers_per_channel),
+            algorithm: Algorithm::Fast,
+            warmup_periods: 40,
+            measure_periods: 120,
+        }
+    }
+
+    /// A reduced configuration for quick tests.
+    pub fn quick(channels: usize, viewers_per_channel: usize) -> Self {
+        ZappingScenario {
+            warmup_periods: 25,
+            measure_periods: 45,
+            ..Self::paper(channels, viewers_per_channel)
+        }
+    }
+}
+
+/// Runs one channel-zapping scenario on `pool` and returns the runtime
+/// report (deterministic for any pool size).
+pub fn run_channel_zapping(scenario: &ZappingScenario, pool: &Arc<WorkerPool>) -> RuntimeReport {
+    let mut manager = SessionManager::new(scenario.session, Arc::clone(pool), || {
+        scenario.algorithm.scheduler()
+    });
+    manager.warmup(scenario.warmup_periods);
+    manager.run_periods(scenario.measure_periods);
+    manager.report()
+}
+
+/// One point of the channel-count sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ZappingSweepPoint {
+    /// Number of concurrent channels.
+    pub channels: usize,
+    /// The aggregated runtime report at that channel count.
+    pub report: RuntimeReport,
+}
+
+/// Sweeps the scenario over `channel_counts`, holding the *total* viewer
+/// population constant (viewers spread over more, smaller channels) so the
+/// points differ only in channel count.
+///
+/// Scenarios run one after another; each is internally parallel across its
+/// channels on `pool`.
+///
+/// # Panics
+/// Panics if a channel count does not divide the base scenario's total
+/// population — channels are uniformly sized, so a non-divisor count would
+/// silently drop the remainder and make the points non-comparable.
+pub fn sweep_channel_counts(
+    channel_counts: &[usize],
+    base: &ZappingScenario,
+    pool: &Arc<WorkerPool>,
+) -> Vec<ZappingSweepPoint> {
+    let total_viewers = base.session.channels * base.session.viewers_per_channel;
+    channel_counts
+        .iter()
+        .map(|&channels| {
+            assert!(
+                channels > 0 && total_viewers.is_multiple_of(channels),
+                "channel count {channels} does not divide the {total_viewers}-viewer population"
+            );
+            let scenario = ZappingScenario {
+                session: SessionConfig {
+                    channels,
+                    viewers_per_channel: total_viewers / channels,
+                    ..base.session
+                },
+                ..*base
+            };
+            ZappingSweepPoint {
+                channels,
+                report: run_channel_zapping(&scenario, pool),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_zapping_scenario_completes_and_measures() {
+        let scenario = ZappingScenario::quick(4, 40);
+        let pool = Arc::new(WorkerPool::new(2));
+        let report = run_channel_zapping(&scenario, &pool);
+        assert_eq!(report.channels.len(), 4);
+        assert_eq!(
+            report.periods,
+            scenario.warmup_periods + scenario.measure_periods
+        );
+        assert!(report.total_zaps() > 0);
+        assert!(report.cross_channel_zaps.completed > 0);
+        assert!(report.cross_channel_zaps.completion_rate() > 0.5);
+        // Startup after a zap takes at least one period, on average more.
+        assert!(report.cross_channel_zaps.avg_startup_secs >= 1.0);
+    }
+
+    #[test]
+    fn channel_sweep_conserves_total_population() {
+        let base = ZappingScenario {
+            measure_periods: 30,
+            warmup_periods: 20,
+            ..ZappingScenario::quick(2, 60)
+        };
+        let pool = Arc::new(WorkerPool::new(2));
+        let points = sweep_channel_counts(&[2, 4], &base, &pool);
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            let viewers: usize = point.report.channels.iter().map(|c| c.viewers).sum();
+            // Zapping conserves population exactly; construction splits the
+            // 120 viewers evenly.
+            assert_eq!(viewers, 120, "channels = {}", point.channels);
+            assert!(point.report.total_zaps() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn non_divisor_channel_count_panics() {
+        let base = ZappingScenario::quick(2, 60); // 120 viewers total
+        let pool = Arc::new(WorkerPool::new(1));
+        let _ = sweep_channel_counts(&[7], &base, &pool);
+    }
+}

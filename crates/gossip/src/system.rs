@@ -21,8 +21,12 @@
 //! steady-state heap allocation), candidate segments are discovered by
 //! word-level bitset intersection of per-peer availability maps, per-peer
 //! lookups use dense `Vec`s indexed by [`PeerId`], and — behind the
-//! `parallel` feature — the read-only scheduling pass fans out across
-//! threads in deterministic node order.
+//! `parallel` feature — the read-only scheduling pass fans out over an
+//! attached [`JobExecutor`] (the persistent `fss-runtime` worker pool in
+//! production; an in-line serial fallback otherwise) in deterministic node
+//! order.  Chunk outputs land in per-chunk scratch slots, so the report is
+//! byte-identical regardless of executor, worker count or scheduling
+//! interleaving.
 //! [`step_reference`](StreamingSystem::step_reference) preserves the
 //! original straight-line implementation; the two are byte-equivalent (the
 //! test-suite asserts identical [`SystemReport`]s) and the reference serves
@@ -36,8 +40,10 @@ use crate::scratch::{PeriodScratch, WorkerScratch};
 use crate::segment::{SegmentId, SessionDirectory, SourceId};
 use crate::stats::{RatioSample, SwitchRecord, TrafficCounters};
 use crate::transfer::{RequestBatch, TransferResolver};
-use fss_overlay::{ChurnModel, Overlay, PeerId};
+use fss_overlay::{ChurnModel, Overlay, OverlayError, PeerAttrs, PeerId};
+use fss_sim::exec::{DisjointSlots, JobExecutor, SerialExecutor};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Snapshot of everything an experiment needs after (or while) running the
 /// system.
@@ -90,9 +96,12 @@ pub struct StreamingSystem {
 
     /// Reusable period working memory.
     scratch: PeriodScratch,
-    /// Worker threads for the scheduling pass (effective only with the
+    /// Chunk count of the scheduling pass (effective only with the
     /// `parallel` feature; results are identical either way).
     parallelism: usize,
+    /// Executor running the scheduling-pass chunks.  `None` degrades to the
+    /// in-line [`SerialExecutor`] — byte-identical results either way.
+    executor: Option<Arc<dyn JobExecutor>>,
 }
 
 impl StreamingSystem {
@@ -134,6 +143,7 @@ impl StreamingSystem {
             switch_completed_secs: None,
             scratch: PeriodScratch::default(),
             parallelism: 1,
+            executor: None,
         }
     }
 
@@ -148,7 +158,7 @@ impl StreamingSystem {
         self.resolver = TransferResolver::with_model(model);
     }
 
-    /// Sets the number of worker threads for the scheduling pass.
+    /// Sets the number of scheduling-pass chunks (the fan-out width).
     ///
     /// Values above 1 take effect only when the `parallel` feature is
     /// enabled; the sweep is chunked deterministically so results are
@@ -157,9 +167,25 @@ impl StreamingSystem {
         self.parallelism = workers.max(1);
     }
 
-    /// The configured scheduling-pass worker count.
+    /// The configured scheduling-pass chunk count.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Attaches the executor that runs the scheduling-pass chunks — in
+    /// production the persistent `fss-runtime::WorkerPool`, which amortises
+    /// thread spawn cost to zero per period.
+    ///
+    /// Without an executor (or without the `parallel` feature) the chunks
+    /// run in-line; because every chunk writes only its own scratch slot,
+    /// reports are byte-identical in all configurations.
+    pub fn set_executor(&mut self, executor: Arc<dyn JobExecutor>) {
+        self.executor = Some(executor);
+    }
+
+    /// Detaches the executor, reverting to in-line chunk execution.
+    pub fn clear_executor(&mut self) {
+        self.executor = None;
     }
 
     /// The protocol configuration.
@@ -295,6 +321,80 @@ impl StreamingSystem {
         new_id
     }
 
+    /// Removes `peer` from the overlay — an externally driven departure,
+    /// e.g. a viewer zapping away to another channel in a multi-channel
+    /// deployment.
+    ///
+    /// The peer's protocol state stays allocated (ids are never reused) and
+    /// its switch record is marked departed so it stops counting towards
+    /// switch metrics.  Call [`repair_membership`](Self::repair_membership)
+    /// after a batch of external membership changes.
+    ///
+    /// # Panics
+    /// Panics if `peer` has ever been a source: departing the emitter would
+    /// silently stall the whole stream, and old sources remain the primary
+    /// holders of their stream's tail — the same protection the churn path
+    /// enforces.
+    pub fn depart_peer(&mut self, peer: PeerId) -> Result<(), OverlayError> {
+        assert!(
+            !self.sources.contains(&peer),
+            "sources cannot depart (peer {peer})"
+        );
+        self.overlay.remove_peer(peer)?;
+        if let Some(record) = self.switch_records.get_mut(peer as usize) {
+            record.departed = true;
+        }
+        Ok(())
+    }
+
+    /// Admits a new peer attached to `neighbors` — an externally driven
+    /// arrival, e.g. a viewer zapping in from another channel.
+    ///
+    /// Exactly like a churn joiner, the newcomer starts media playback by
+    /// following its neighbours' current steps.  Returns the new peer's id.
+    pub fn admit_peer(
+        &mut self,
+        attrs: PeerAttrs,
+        neighbors: &[PeerId],
+    ) -> Result<PeerId, OverlayError> {
+        let id = self.overlay.add_peer(attrs, neighbors)?;
+        self.register_joined_peer(id);
+        self.rejoin_at_neighbours(id);
+        Ok(id)
+    }
+
+    /// Allocates the protocol state of a peer the overlay just added.
+    fn register_joined_peer(&mut self, id: PeerId) {
+        debug_assert_eq!(id as usize, self.peers.len());
+        self.peers
+            .push(PeerNode::new(id, &self.config, SegmentId(0)));
+        self.switch_records.push(SwitchRecord::default());
+    }
+
+    /// Points a joiner's playback at its neighbours' current steps (the
+    /// paper's join rule, shared by churn joiners and zap arrivals).
+    fn rejoin_at_neighbours(&mut self, id: PeerId) {
+        let join_point = self
+            .overlay
+            .neighbors(id)
+            .iter()
+            .map(|&n| self.peers[n as usize].id_play())
+            .max()
+            .unwrap_or(SegmentId(0));
+        self.peers[id as usize].rejoin_at(join_point);
+    }
+
+    /// Repairs neighbour sets after external membership changes
+    /// ([`depart_peer`](Self::depart_peer) / [`admit_peer`](Self::admit_peer)).
+    ///
+    /// The per-period churn path runs this automatically; external drivers
+    /// call it once per batch of zap events.
+    pub fn repair_membership(&mut self) {
+        self.membership
+            .repair(&mut self.overlay)
+            .expect("membership repair over valid overlay");
+    }
+
     /// Runs `n` scheduling periods.
     pub fn run_periods(&mut self, n: u64) {
         for _ in 0..n {
@@ -413,25 +513,12 @@ impl StreamingSystem {
         // allocate all their protocol state first and only then compute join
         // points from their neighbours' playback positions.
         for &joined in &event.joined {
-            debug_assert_eq!(joined as usize, self.peers.len());
-            self.peers
-                .push(PeerNode::new(joined, &self.config, SegmentId(0)));
-            self.switch_records.push(SwitchRecord::default());
+            self.register_joined_peer(joined);
         }
         for &joined in &event.joined {
-            // Joiners follow their neighbours' current playback position.
-            let join_point = self
-                .overlay
-                .neighbors(joined)
-                .iter()
-                .map(|&n| self.peers[n as usize].id_play())
-                .max()
-                .unwrap_or(SegmentId(0));
-            self.peers[joined as usize].rejoin_at(join_point);
+            self.rejoin_at_neighbours(joined);
         }
-        self.membership
-            .repair(&mut self.overlay)
-            .expect("membership repair over valid overlay");
+        self.repair_membership();
     }
 
     fn emit_segments(&mut self) {
@@ -627,8 +714,12 @@ impl StreamingSystem {
 
     /// Dispatches the per-node scheduling over `workers` chunks.  Chunks are
     /// contiguous slices of the active list, so concatenating worker outputs
-    /// reproduces the sequential node order exactly.
+    /// reproduces the sequential node order exactly; each chunk writes only
+    /// its own [`WorkerScratch`] slot, so any [`JobExecutor`] (the
+    /// persistent pool, or the in-line serial fallback) yields identical
+    /// results.
     fn run_scheduling_pass(&mut self, workers: usize) {
+        let executor = &self.executor;
         let PeriodScratch {
             active,
             workers: worker_slots,
@@ -658,36 +749,19 @@ impl StreamingSystem {
             return;
         }
 
-        #[cfg(feature = "parallel")]
-        {
-            std::thread::scope(|scope| {
-                for (worker, chunk) in worker_slots.iter_mut().zip(active.chunks(chunk_size)) {
-                    let outbound_rate = &outbound_rate[..];
-                    let inbound_rate = &inbound_rate[..];
-                    scope.spawn(move || {
-                        schedule_chunk(
-                            chunk,
-                            worker,
-                            peers,
-                            overlay,
-                            directory,
-                            config,
-                            scheduler,
-                            outbound_rate,
-                            inbound_rate,
-                        );
-                    });
-                }
-            });
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            // Without the feature every configured parallelism degrades to
-            // the sequential order (identical results either way).
-            let _ = chunk_size;
+        let active = &active[..];
+        let outbound_rate = &outbound_rate[..];
+        let inbound_rate = &inbound_rate[..];
+        let slots = DisjointSlots::new(&mut worker_slots[..used_workers]);
+        let job = move |chunk: usize| {
+            let start = chunk * chunk_size;
+            let end = (start + chunk_size).min(active.len());
+            // SAFETY: chunk indices are unique per execute() run, so each
+            // scratch slot is borrowed by exactly one chunk.
+            let worker = unsafe { slots.slot(chunk) };
             schedule_chunk(
-                active,
-                &mut worker_slots[0],
+                &active[start..end],
+                worker,
                 peers,
                 overlay,
                 directory,
@@ -696,6 +770,10 @@ impl StreamingSystem {
                 outbound_rate,
                 inbound_rate,
             );
+        };
+        match executor {
+            Some(executor) => executor.execute(used_workers, &job),
+            None => SerialExecutor.execute(used_workers, &job),
         }
     }
 
@@ -1216,6 +1294,43 @@ mod tests {
         for workers in [2, 3, 8] {
             assert_eq!(run(workers), sequential, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn external_depart_and_admit_mirror_churn() {
+        let mut sys = build_system(30, 8);
+        let (source, viewer) = first_two(&sys);
+        sys.start_initial_source(source);
+        sys.run_periods(20);
+
+        sys.depart_peer(viewer).unwrap();
+        sys.repair_membership();
+        assert!(!sys.overlay().graph().is_active(viewer));
+        assert!(sys.report().switch_records[viewer as usize].departed);
+
+        let neighbours: Vec<PeerId> = sys.overlay().active_peers().take(5).collect();
+        let attrs = *sys.overlay().attrs(source).unwrap();
+        let joined = sys.admit_peer(attrs, &neighbours).unwrap();
+        sys.repair_membership();
+        assert!(sys.overlay().graph().is_active(joined));
+        // The arrival follows its neighbours' playback steps, like a churn
+        // joiner: its join point is at (or past) the slowest neighbour.
+        let min_neighbour_play = neighbours
+            .iter()
+            .map(|&n| sys.peer(n).id_play())
+            .min()
+            .unwrap();
+        assert!(sys.peer(joined).playback().join_point() >= min_neighbour_play);
+        sys.run_periods(5); // the system keeps running with the newcomer
+    }
+
+    #[test]
+    #[should_panic(expected = "sources cannot depart")]
+    fn departing_a_source_panics() {
+        let mut sys = build_system(20, 6);
+        let (s1, _) = first_two(&sys);
+        sys.start_initial_source(s1);
+        let _ = sys.depart_peer(s1);
     }
 
     #[test]

@@ -18,13 +18,20 @@
 //!
 //! The resolver used to build a `BTreeMap<supplier, BTreeMap<requester,
 //! VecDeque<segment>>>` every period.  The optimized path instead flattens
-//! all requests into one reusable entry vector, sorts it by `(supplier,
+//! all requests into one reusable entry vector and groups it by `(supplier,
 //! requester, submission order)` — which reproduces the `BTreeMap` iteration
-//! order exactly — and walks supplier/requester groups in place.  All
-//! buffers are retained across calls, so steady-state resolution performs no
-//! heap allocation.  [`TransferResolver::resolve_round_reference`] keeps the
-//! original map-based implementation; the test-suite asserts both produce
-//! identical deliveries.
+//! order exactly — then walks supplier/requester groups in place.  On the
+//! system hot path (one batch per node, in ascending node order) the
+//! entries arrive already `(requester, submission)`-sorted, so the grouping
+//! is a **stable counting sort bucketed by supplier** — `O(E + S)` instead
+//! of the previous `O(E log E)` comparison sort, the deliver-phase fix from
+//! the ROADMAP.  Out-of-order or duplicate-requester inputs (possible
+//! through the public API, never produced by the system) fall back to the
+//! comparison sort.  All buffers are retained across calls, so steady-state
+//! resolution performs no heap allocation.
+//! [`TransferResolver::resolve_round_reference`] keeps the original
+//! map-based implementation; the test-suite asserts both produce identical
+//! deliveries.
 
 use crate::scheduler::SegmentRequest;
 use crate::segment::SegmentId;
@@ -100,6 +107,10 @@ pub struct TransferResolver {
     pass: Vec<usize>,
     /// Requester ids seen while flattening (duplicate detection).
     requesters: Vec<PeerId>,
+    /// Counting-sort scratch: per-supplier counts, then running offsets.
+    supplier_offsets: Vec<usize>,
+    /// Counting-sort scratch: entries regrouped by supplier.
+    grouped: Vec<Entry>,
 }
 
 impl TransferResolver {
@@ -176,7 +187,11 @@ impl TransferResolver {
         self.entries.clear();
         self.requesters.clear();
         let mut seq = 0u32;
+        let mut requesters_ascending = true;
         for batch in batches {
+            if let Some(&last) = self.requesters.last() {
+                requesters_ascending &= batch.requester > last;
+            }
             self.requesters.push(batch.requester);
             let batch_start = self.entries.len();
             for req in batch.requests.iter().take(batch.inbound_budget) {
@@ -198,22 +213,33 @@ impl TransferResolver {
             }
         }
 
-        // The reference resolver dedups (requester, segment) globally.  A
-        // requester appearing in several batches is impossible on the hot
-        // path, so only pay for the cross-batch pass when it happens.
-        self.requesters.sort_unstable();
-        if self.requesters.windows(2).any(|w| w[0] == w[1]) {
+        // The target order — (supplier asc, requester asc, submission
+        // order) — reproduces the reference implementation's nested-
+        // BTreeMap iteration order.  On the hot path batches arrive one per
+        // node in ascending node order, so the flat entries are already
+        // (requester, submission)-sorted and a stable counting sort
+        // bucketed by supplier yields the target order in O(E + S); it
+        // declines pathologically sparse supplier-id ranges (see
+        // `bucket_by_supplier`), in which case the comparison sort below
+        // takes over.
+        let bucketed = requesters_ascending && self.bucket_by_supplier();
+        if !bucketed {
+            // Slow path: out-of-order batches (public API only) may also
+            // repeat a requester, where the reference resolver dedups
+            // (requester, segment) globally, first submission winning.
+            if !requesters_ascending {
+                self.requesters.sort_unstable();
+                if self.requesters.windows(2).any(|w| w[0] == w[1]) {
+                    self.entries
+                        .sort_unstable_by_key(|e| (e.requester, e.segment, e.seq));
+                    self.entries.dedup_by_key(|e| (e.requester, e.segment));
+                }
+            }
+            // The unique `seq` makes the key total so the unstable
+            // (allocation-free) sort is deterministic.
             self.entries
-                .sort_unstable_by_key(|e| (e.requester, e.segment, e.seq));
-            self.entries.dedup_by_key(|e| (e.requester, e.segment));
+                .sort_unstable_by_key(|e| (e.supplier, e.requester, e.seq));
         }
-
-        // (supplier asc, requester asc, submission order) reproduces the
-        // reference implementation's nested-BTreeMap iteration order; the
-        // unique `seq` makes the key total so the unstable (allocation-free)
-        // sort is deterministic.
-        self.entries
-            .sort_unstable_by_key(|e| (e.supplier, e.requester, e.seq));
 
         let mut group_start = 0;
         while group_start < self.entries.len() {
@@ -275,6 +301,61 @@ impl TransferResolver {
             }
             group_start = group_end;
         }
+    }
+
+    /// Stable counting sort of `entries` bucketed by supplier.  Returns
+    /// `false` (entries untouched) when the bucket table would dwarf the
+    /// entry count — the caller's comparison sort handles that better.
+    ///
+    /// Precondition: entries are `(requester, seq)`-sorted, which the
+    /// ascending-batch hot path guarantees; stability then makes the result
+    /// exactly `(supplier, requester, seq)`-sorted.  Runs in `O(E + S)`
+    /// where `S` is the highest supplier id in use; the scratch buffers are
+    /// reused across periods, so steady-state calls do not allocate.  On
+    /// the system hot path `S` is the peer capacity — the same order as the
+    /// dense per-peer tables the period loop already sweeps.  The sparsity
+    /// guard declines inputs whose supplier ids are far above the entry
+    /// count (arbitrary through the public API; on the hot path only after
+    /// extreme id growth from very long churn/zapping runs, where the
+    /// comparison sort's `O(E log E)` is the cheaper trade anyway).
+    fn bucket_by_supplier(&mut self) -> bool {
+        let Some(max_supplier) = self.entries.iter().map(|e| e.supplier).max() else {
+            return true; // no entries, nothing to group
+        };
+        // Guard on the id itself before computing `+ 1`: on 32-bit targets
+        // `PeerId::MAX as usize + 1` would overflow.
+        let max_supplier = max_supplier as usize;
+        if max_supplier
+            >= 64usize
+                .saturating_mul(self.entries.len())
+                .saturating_add(1024)
+        {
+            return false;
+        }
+        let buckets = max_supplier + 1;
+        self.supplier_offsets.clear();
+        self.supplier_offsets.resize(buckets, 0);
+        for e in &self.entries {
+            self.supplier_offsets[e.supplier as usize] += 1;
+        }
+        // Counts become exclusive running offsets.
+        let mut running = 0usize;
+        for slot in self.supplier_offsets.iter_mut() {
+            let count = *slot;
+            *slot = running;
+            running += count;
+        }
+        // Stable scatter into the grouped buffer, then adopt it.
+        self.grouped.clear();
+        self.grouped.resize(self.entries.len(), self.entries[0]);
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            let slot = &mut self.supplier_offsets[e.supplier as usize];
+            self.grouped[*slot] = e;
+            *slot += 1;
+        }
+        std::mem::swap(&mut self.entries, &mut self.grouped);
+        true
     }
 
     /// Serves one supplier's group under the per-link model: each requester
@@ -559,6 +640,58 @@ mod tests {
         );
         // Requester 2's own request for segment 10 is unaffected.
         assert_eq!(segments_for(&deliveries, 2), vec![10]);
+    }
+
+    #[test]
+    fn descending_batches_match_the_reference_without_duplicates() {
+        // Requesters arrive out of order (impossible on the system hot path,
+        // legal through the public API): the comparison-sort fallback must
+        // still reproduce the reference's (supplier, requester) order.
+        let batches = vec![
+            batch(9, 10, vec![req(1, 3), req(2, 4)]),
+            batch(4, 10, vec![req(3, 3), req(4, 5)]),
+            batch(6, 10, vec![req(5, 4), req(6, 3)]),
+        ];
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 10, 0);
+        assert_eq!(deliveries.len(), 6);
+        // Groups come out supplier-ascending, requester-ascending within.
+        let order: Vec<(PeerId, PeerId)> = deliveries
+            .iter()
+            .map(|d| (d.supplier, d.requester))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn bucketed_hot_path_handles_sparse_high_supplier_ids() {
+        // Ascending requesters (hot path) with widely spaced supplier ids
+        // exercise the counting-sort buckets.
+        let batches = vec![
+            batch(1, 10, vec![req(1, 250), req(2, 0), req(3, 99)]),
+            batch(5, 10, vec![req(4, 99), req(5, 250)]),
+            batch(7, 10, vec![req(6, 0)]),
+        ];
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 10, 0);
+        assert_eq!(deliveries.len(), 6);
+        let suppliers: Vec<PeerId> = deliveries.iter().map(|d| d.supplier).collect();
+        assert_eq!(suppliers, vec![0, 0, 99, 99, 250, 250]);
+    }
+
+    #[test]
+    fn sparse_supplier_ids_fall_back_to_the_comparison_sort() {
+        // An ascending batch naming an astronomically high supplier id must
+        // not size a counting-sort bucket table to that id — the sparsity
+        // guard routes it to the comparison sort, same deliveries.
+        let batches = vec![
+            batch(1, 10, vec![req(1, PeerId::MAX), req(2, 3)]),
+            batch(2, 10, vec![req(3, PeerId::MAX), req(4, 3)]),
+        ];
+        let deliveries = resolve_checked(TransferResolver::new(), &batches, |_| 10, 0);
+        assert_eq!(deliveries.len(), 4);
+        let suppliers: Vec<PeerId> = deliveries.iter().map(|d| d.supplier).collect();
+        assert_eq!(suppliers, vec![3, 3, PeerId::MAX, PeerId::MAX]);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   preparing time of `S2` (= average switch time), completion rate, and the
 //!   [`switch::reduction_ratio`] between two algorithms (Figures 6, 7, 10,
 //!   11),
+//! * [`switch::ZapSummary`] — channel-zap startup delays of the
+//!   multi-channel runtime (viewers hopping between concurrent streams),
 //! * [`timeseries::RatioTrack`] — the undelivered-`S1` / delivered-`S2`
 //!   tracks of Figures 5 and 9,
 //! * [`overhead::OverheadSummary`] — the communication overhead of Figures 8
@@ -27,5 +29,5 @@ pub mod timeseries;
 pub use overhead::OverheadSummary;
 pub use report::Table;
 pub use summary::Summary;
-pub use switch::{reduction_ratio, SwitchSummary};
+pub use switch::{reduction_ratio, SwitchSummary, ZapSummary};
 pub use timeseries::RatioTrack;

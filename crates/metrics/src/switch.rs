@@ -69,6 +69,60 @@ impl SwitchSummary {
     }
 }
 
+/// Aggregated channel-zap startup delays.
+///
+/// In a multi-channel deployment a *zap* is a viewer leaving one channel and
+/// joining another; its **zap latency** is the time from joining the target
+/// channel's overlay to the start of playback there (the `Q`
+/// consecutive-segment startup rule — the viewer-facing analogue of the
+/// paper's source-switch preparing time, measured per viewer instead of per
+/// source switch).  Zaps whose playback never started within the measured
+/// horizon count as *pending* and are excluded from the latency moments but
+/// reported in the completion rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZapSummary {
+    /// Zap arrivals whose playback started within the horizon.
+    pub completed: usize,
+    /// Zap arrivals still waiting for playback at the end of the horizon.
+    pub pending: usize,
+    /// Mean startup delay of completed zaps, seconds.
+    pub avg_startup_secs: f64,
+    /// Worst completed startup delay, seconds.
+    pub max_startup_secs: f64,
+    /// 95th-percentile completed startup delay, seconds.
+    pub p95_startup_secs: f64,
+}
+
+impl ZapSummary {
+    /// Builds the summary from the completed zaps' startup delays plus the
+    /// count of zaps still pending at the end of the horizon.
+    pub fn from_latencies(latencies: &[f64], pending: usize) -> ZapSummary {
+        let s = Summary::of(latencies);
+        ZapSummary {
+            completed: s.count,
+            pending,
+            avg_startup_secs: s.mean,
+            max_startup_secs: s.max,
+            p95_startup_secs: Summary::quantile(latencies, 0.95),
+        }
+    }
+
+    /// Total zap arrivals observed (completed + pending).
+    pub fn zaps(&self) -> usize {
+        self.completed + self.pending
+    }
+
+    /// Fraction of observed zaps that reached playback within the horizon
+    /// (0 when no zap was observed).
+    pub fn completion_rate(&self) -> f64 {
+        if self.zaps() == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.zaps() as f64
+        }
+    }
+}
+
 /// Metric 2: the reduction ratio of the average switch time achieved by the
 /// fast algorithm relative to the normal algorithm,
 /// `1 − fast / normal`.
@@ -146,6 +200,30 @@ mod tests {
         assert_eq!(s.countable_nodes, 0);
         assert_eq!(s.completion_rate(), 0.0);
         assert_eq!(s.avg_prepare_new_secs, 0.0);
+    }
+
+    #[test]
+    fn zap_summary_aggregates_latencies_and_pending() {
+        let latencies = [2.0, 4.0, 6.0, 8.0];
+        let z = ZapSummary::from_latencies(&latencies, 2);
+        assert_eq!(z.completed, 4);
+        assert_eq!(z.pending, 2);
+        assert_eq!(z.zaps(), 6);
+        assert!((z.avg_startup_secs - 5.0).abs() < 1e-12);
+        assert_eq!(z.max_startup_secs, 8.0);
+        assert!(z.p95_startup_secs <= z.max_startup_secs + 1e-12);
+        assert!((z.completion_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zap_summary_empty() {
+        let z = ZapSummary::from_latencies(&[], 0);
+        assert_eq!(z.zaps(), 0);
+        assert_eq!(z.completion_rate(), 0.0);
+        assert_eq!(z.avg_startup_secs, 0.0);
+        let pending_only = ZapSummary::from_latencies(&[], 3);
+        assert_eq!(pending_only.completion_rate(), 0.0);
+        assert_eq!(pending_only.zaps(), 3);
     }
 
     #[test]

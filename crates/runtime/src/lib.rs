@@ -1,0 +1,38 @@
+//! `fss-runtime` — the execution layer above a single [`StreamingSystem`].
+//!
+//! The reproduction's lower crates simulate *one* stream; the ROADMAP's
+//! north star (millions of users, many scenarios, hardware-speed execution)
+//! needs a runtime that hosts many sessions and keeps the hardware busy
+//! without ever sacrificing determinism.  This crate provides the two
+//! tightly coupled pieces:
+//!
+//! * [`WorkerPool`] — a **persistent, deterministic worker pool**.  Long-
+//!   lived workers execute [`fss_sim::ScopedJob`]s with dynamically stolen
+//!   chunks whose outputs land in chunk-indexed slots, so results are
+//!   byte-identical for every pool size.  It replaces the per-period
+//!   `std::thread::scope` fan-out of the gossip scheduling sweep
+//!   (`StreamingSystem::set_executor`), steps the session manager's
+//!   channels, and runs `fss-experiments` scenario sweeps — one pool, three
+//!   call sites, zero thread spawns per period.
+//!
+//! * [`SessionManager`] — a **multi-channel session manager**.  Hosts `N`
+//!   concurrent channels (independent streaming systems) sharded across the
+//!   pool and drives a viewer *channel-zapping* workload: every period a
+//!   fraction of each channel's viewers leave and join another channel,
+//!   and the time until their playback starts there is recorded as that
+//!   viewer's zap latency ([`fss_metrics::ZapSummary`]).  The aggregated
+//!   [`RuntimeReport`] is deterministic — identical bytes for 1 or N
+//!   workers.
+//!
+//! See `docs/runtime.md` for the determinism model and the zap-latency
+//! definition.
+//!
+//! [`StreamingSystem`]: fss_gossip::StreamingSystem
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod session;
+
+pub use pool::WorkerPool;
+pub use session::{ChannelReport, RuntimeReport, SessionConfig, SessionManager};

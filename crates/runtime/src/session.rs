@@ -1,0 +1,559 @@
+//! Multi-channel session management with channel-zapping viewers.
+//!
+//! The paper evaluates *one* stream per process; real deployments (and the
+//! CliqueStream / live-entertainment settings in PAPERS.md) serve many
+//! concurrent channels with viewers hopping between them — which makes
+//! channel-switch latency a first-class metric.  [`SessionManager`] hosts
+//! `N` independent [`StreamingSystem`]s (one per channel), shards their
+//! period stepping across the persistent [`WorkerPool`], and drives a
+//! deterministic viewer-zapping workload:
+//!
+//! * every period, a configured fraction of each channel's viewers *zap*:
+//!   they leave their channel's overlay and join another channel, attaching
+//!   to `M` random peers there and following those neighbours' playback
+//!   steps — exactly the paper's churn-join rule, but correlated across
+//!   channels so total viewership is conserved;
+//! * each arrival is tracked until its playback starts (`Q` consecutive
+//!   segments); the elapsed time is that viewer's **zap latency**,
+//!   aggregated per channel and across channels through
+//!   [`fss_metrics::ZapSummary`].
+//!
+//! # Determinism
+//!
+//! All randomness (who zaps, where to, which neighbours) is drawn from one
+//! seeded RNG on the submitting thread; the pool only executes the
+//! per-channel `step()` calls, whose state sets are disjoint.  The resulting
+//! [`RuntimeReport`] is therefore byte-identical for every pool size — a
+//! property the test-suite asserts at 1/2/4/7 workers.
+
+use crate::pool::WorkerPool;
+use fss_gossip::{GossipConfig, SegmentScheduler, StreamingSystem, TrafficCounters};
+use fss_metrics::ZapSummary;
+use fss_overlay::{BandwidthConfig, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
+use fss_sim::exec::DisjointSlots;
+use fss_trace::{GeneratorConfig, TraceGenerator};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Configuration of a multi-channel session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SessionConfig {
+    /// Number of concurrent channels (independent streaming systems).
+    pub channels: usize,
+    /// Overlay size of each channel at start-up.
+    pub viewers_per_channel: usize,
+    /// Fraction of each channel's viewers zapping away per period.
+    pub zap_fraction: f64,
+    /// Neighbours a zapping viewer attaches to in its target channel
+    /// (the paper's `M`).
+    pub zap_degree: usize,
+    /// Minimum neighbour count maintained inside each channel.
+    pub min_degree: usize,
+    /// Master seed; every channel derives its own trace/overlay/zap streams.
+    pub seed: u64,
+    /// Protocol parameters shared by all channels.
+    pub gossip: GossipConfig,
+}
+
+impl SessionConfig {
+    /// Paper-flavoured defaults: `M = 5`, 2 % of viewers zapping per period.
+    pub fn paper_default(channels: usize, viewers_per_channel: usize) -> Self {
+        SessionConfig {
+            channels,
+            viewers_per_channel,
+            zap_fraction: 0.02,
+            zap_degree: 5,
+            min_degree: 5,
+            seed: 0x5A50_0001,
+            gossip: GossipConfig::paper_default(),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels < 2 {
+            return Err("a zapping session needs at least 2 channels".into());
+        }
+        if self.viewers_per_channel <= self.min_degree {
+            return Err(format!(
+                "{} viewers cannot sustain a minimum degree of {}",
+                self.viewers_per_channel, self.min_degree
+            ));
+        }
+        if !(0.0..=0.5).contains(&self.zap_fraction) || !self.zap_fraction.is_finite() {
+            return Err(format!(
+                "zap_fraction {} outside the sensible range [0, 0.5]",
+                self.zap_fraction
+            ));
+        }
+        if self.zap_degree == 0 {
+            return Err("zap_degree must be positive".into());
+        }
+        self.gossip.validate().map_err(|e| e.to_string())
+    }
+}
+
+/// One hosted channel: a streaming system plus its zap bookkeeping.
+struct Channel {
+    system: StreamingSystem,
+    source: PeerId,
+    zaps_in: usize,
+    zaps_out: usize,
+    /// Startup delays (seconds) of completed zap arrivals into this channel.
+    arrival_latencies: Vec<f64>,
+    /// Arrivals that departed again (zap or churn) before their playback
+    /// started — they never completed and never will, so they stay in the
+    /// never-reached-playback side of the zap statistics.
+    zaps_abandoned: usize,
+}
+
+/// A zap arrival still waiting for playback to start.
+struct PendingZap {
+    channel: usize,
+    viewer: PeerId,
+    joined_period: u64,
+}
+
+/// Per-channel slice of the [`RuntimeReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChannelReport {
+    /// Channel index.
+    pub channel: usize,
+    /// Active viewers (including the source) at report time.
+    pub viewers: usize,
+    /// Scheduling periods this channel executed.
+    pub periods: u64,
+    /// Total traffic of the channel's run.
+    pub traffic: TrafficCounters,
+    /// Zap arrivals into this channel.
+    pub zaps_in: usize,
+    /// Zap departures out of this channel.
+    pub zaps_out: usize,
+    /// Startup delays of arrivals into this channel.
+    pub zap_latency: ZapSummary,
+}
+
+/// Aggregated outcome of a multi-channel zapping run.
+///
+/// Deterministic: identical bytes for every worker-pool size (asserted by
+/// the test-suite), so reports can be diffed across hardware.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RuntimeReport {
+    /// Periods driven through every channel.
+    pub periods: u64,
+    /// Per-channel breakdown, in channel order.
+    pub channels: Vec<ChannelReport>,
+    /// Zap latency aggregated across all channels.
+    pub cross_channel_zaps: ZapSummary,
+}
+
+impl RuntimeReport {
+    /// Total zap arrivals observed across all channels.
+    pub fn total_zaps(&self) -> usize {
+        self.cross_channel_zaps.zaps()
+    }
+}
+
+/// Hosts `N` concurrent channels sharded over a persistent [`WorkerPool`]
+/// and drives the viewer-zapping workload.  See the module docs.
+pub struct SessionManager {
+    config: SessionConfig,
+    pool: Arc<WorkerPool>,
+    channels: Vec<Channel>,
+    /// The single RNG behind every zap decision (submitting thread only).
+    rng: SmallRng,
+    /// Bandwidth distribution for zap arrivals (same as churn joiners).
+    bandwidth: BandwidthConfig,
+    period: u64,
+    pending: Vec<PendingZap>,
+}
+
+impl SessionManager {
+    /// Builds the channels and starts each channel's initial source.
+    ///
+    /// `scheduler` instantiates one scheduling policy per channel (e.g.
+    /// `|| Box::new(FastSwitchScheduler::new())`).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new<F>(config: SessionConfig, pool: Arc<WorkerPool>, mut scheduler: F) -> Self
+    where
+        F: FnMut() -> Box<dyn SegmentScheduler>,
+    {
+        config
+            .validate()
+            .expect("valid multi-channel session configuration");
+        let channels = (0..config.channels)
+            .map(|c| {
+                // Golden-ratio stride keeps per-channel seed streams apart.
+                let channel_seed = config
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+                let trace = TraceGenerator::new(GeneratorConfig::sized(
+                    config.viewers_per_channel,
+                    channel_seed,
+                ))
+                .generate(format!("channel-{c}"));
+                let overlay_config = OverlayConfig {
+                    min_degree: config.min_degree,
+                    seed: channel_seed ^ 0x00C4_A11E,
+                    ..OverlayConfig::default()
+                };
+                let overlay = OverlayBuilder::new(overlay_config)
+                    .expect("valid overlay config")
+                    .build(&trace)
+                    .expect("channel overlay construction");
+                let source = overlay.active_peers().next().expect("non-empty channel");
+                let mut system = StreamingSystem::new(overlay, config.gossip, scheduler());
+                system.set_executor(pool.as_executor());
+                system.start_initial_source(source);
+                Channel {
+                    system,
+                    source,
+                    zaps_in: 0,
+                    zaps_out: 0,
+                    arrival_latencies: Vec::new(),
+                    zaps_abandoned: 0,
+                }
+            })
+            .collect();
+        SessionManager {
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x5A50_5EED),
+            bandwidth: BandwidthConfig::default(),
+            config,
+            pool,
+            channels,
+            period: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The pool the channels are sharded over.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Number of hosted channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Periods driven so far.
+    pub fn periods(&self) -> u64 {
+        self.period
+    }
+
+    /// Read access to one channel's streaming system.
+    pub fn channel_system(&self, channel: usize) -> &StreamingSystem {
+        &self.channels[channel].system
+    }
+
+    /// Fans each channel's *internal* scheduling pass out over the pool as
+    /// well (`chunks` chunks per channel; effective with the `parallel`
+    /// feature, byte-identical results regardless).
+    pub fn set_gossip_parallelism(&mut self, chunks: usize) {
+        for channel in &mut self.channels {
+            channel.system.set_parallelism(chunks);
+        }
+    }
+
+    /// Runs `n` warm-up periods with the zapping workload disabled, letting
+    /// every channel reach steady playback first.
+    pub fn warmup(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_channels();
+            self.period += 1;
+        }
+    }
+
+    /// Runs one period: zap events, then all channels step in parallel on
+    /// the pool, then zap-latency harvesting.
+    pub fn step(&mut self) {
+        self.apply_zaps();
+        self.step_channels();
+        self.period += 1;
+        self.harvest_zap_latencies();
+    }
+
+    /// Runs `n` full periods.
+    pub fn run_periods(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Builds the aggregated report.
+    pub fn report(&self) -> RuntimeReport {
+        let channels: Vec<ChannelReport> = self
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(index, channel)| {
+                // "Pending" covers every arrival that never reached
+                // playback: still waiting, or departed again first
+                // (abandoned) — so `zaps_in == zap_latency.zaps()` and the
+                // completion rate honestly penalizes failed zaps.
+                let waiting = self.pending.iter().filter(|z| z.channel == index).count();
+                ChannelReport {
+                    channel: index,
+                    viewers: channel.system.overlay().active_count(),
+                    periods: channel.system.periods(),
+                    traffic: channel.system.report().traffic_total,
+                    zaps_in: channel.zaps_in,
+                    zaps_out: channel.zaps_out,
+                    zap_latency: ZapSummary::from_latencies(
+                        &channel.arrival_latencies,
+                        waiting + channel.zaps_abandoned,
+                    ),
+                }
+            })
+            .collect();
+        let mut all: Vec<f64> = Vec::new();
+        let mut abandoned = 0;
+        for channel in &self.channels {
+            all.extend_from_slice(&channel.arrival_latencies);
+            abandoned += channel.zaps_abandoned;
+        }
+        RuntimeReport {
+            periods: self.period,
+            channels,
+            cross_channel_zaps: ZapSummary::from_latencies(&all, self.pending.len() + abandoned),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Steps every channel once, sharded across the pool (one chunk per
+    /// channel; chunk-pinned state keeps this deterministic for any pool
+    /// size).
+    fn step_channels(&mut self) {
+        let slots = DisjointSlots::new(&mut self.channels[..]);
+        self.pool.execute(slots.len(), &|chunk: usize| {
+            // SAFETY: chunk indices are unique per execute() run, so each
+            // channel is stepped by exactly one worker.
+            let channel = unsafe { slots.slot(chunk) };
+            channel.system.step();
+        });
+    }
+
+    /// Moves the period's zapping viewers between channels.  Entirely
+    /// sequential and RNG-driven on the submitting thread.
+    fn apply_zaps(&mut self) {
+        let channel_count = self.channels.len();
+        // Plan departures first so a viewer cannot be picked twice and
+        // freshly arrived viewers are not immediately re-zapped this period.
+        let mut moves: Vec<(usize, usize)> = Vec::new(); // (from, to)
+        for from in 0..channel_count {
+            let channel = &mut self.channels[from];
+            let eligible: Vec<PeerId> = channel
+                .system
+                .overlay()
+                .active_peers()
+                .filter(|&p| p != channel.source)
+                .collect();
+            let zap_count = ((eligible.len() as f64) * self.config.zap_fraction).round() as usize;
+            let zappers: Vec<PeerId> = eligible
+                .choose_multiple(&mut self.rng, zap_count.min(eligible.len()))
+                .copied()
+                .collect();
+            for viewer in zappers {
+                // Uniform target among the other channels.
+                let offset = self.rng.gen_range(1..channel_count);
+                let to = (from + offset) % channel_count;
+                self.channels[from]
+                    .system
+                    .depart_peer(viewer)
+                    .expect("zapping viewer is active");
+                self.channels[from].zaps_out += 1;
+                moves.push((from, to));
+            }
+        }
+
+        // Arrivals: attach to `zap_degree` random peers of the target
+        // channel and follow their playback steps (the churn-join rule).
+        for (_, to) in moves {
+            let candidates: Vec<PeerId> =
+                self.channels[to].system.overlay().active_peers().collect();
+            let degree = self.config.zap_degree.min(candidates.len());
+            let neighbours: Vec<PeerId> = candidates
+                .choose_multiple(&mut self.rng, degree)
+                .copied()
+                .collect();
+            let attrs = PeerAttrs {
+                ping_ms: 80.0 * self.rng.gen_range(0.5..2.0),
+                bandwidth: self.bandwidth.sample_peer(&mut self.rng),
+            };
+            let viewer = self.channels[to]
+                .system
+                .admit_peer(attrs, &neighbours)
+                .expect("zap arrival joins an active channel");
+            self.channels[to].zaps_in += 1;
+            self.pending.push(PendingZap {
+                channel: to,
+                viewer,
+                joined_period: self.period,
+            });
+        }
+
+        // One repair pass per channel heals the holes departures left.
+        for channel in &mut self.channels {
+            channel.system.repair_membership();
+        }
+    }
+
+    /// Completes pending zaps whose playback has started.
+    fn harvest_zap_latencies(&mut self) {
+        let tau = self.config.gossip.tau_secs;
+        let now = self.period;
+        let channels = &mut self.channels;
+        self.pending.retain(|zap| {
+            let channel = &mut channels[zap.channel];
+            // A zapped-in viewer may itself zap away (or churn out) before
+            // starting playback: that zap can never complete, so it moves
+            // to the abandoned count (still part of the never-reached-
+            // playback statistics).
+            if !channel.system.overlay().graph().is_active(zap.viewer) {
+                channel.zaps_abandoned += 1;
+                return false;
+            }
+            if channel.system.peer(zap.viewer).playback().has_started() {
+                let latency = (now - zap.joined_period) as f64 * tau;
+                channel.arrival_latencies.push(latency);
+                return false;
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fss_core::FastSwitchScheduler;
+
+    fn manager(workers: usize, channels: usize, seed: u64) -> SessionManager {
+        let config = SessionConfig {
+            seed,
+            ..SessionConfig::paper_default(channels, 40)
+        };
+        SessionManager::new(config, Arc::new(WorkerPool::new(workers)), || {
+            Box::new(FastSwitchScheduler::new())
+        })
+    }
+
+    #[test]
+    fn zapping_session_runs_end_to_end() {
+        let mut m = manager(2, 4, 7);
+        assert_eq!(m.channels(), 4);
+        m.warmup(30);
+        m.run_periods(40);
+        assert_eq!(m.periods(), 70);
+
+        let report = m.report();
+        assert_eq!(report.channels.len(), 4);
+        assert!(report.total_zaps() > 0, "no zaps happened");
+        assert!(
+            report.cross_channel_zaps.completed > 0,
+            "no zap reached playback"
+        );
+        assert!(report.cross_channel_zaps.avg_startup_secs > 0.0);
+        let zaps_in: usize = report.channels.iter().map(|c| c.zaps_in).sum();
+        let zaps_out: usize = report.channels.iter().map(|c| c.zaps_out).sum();
+        assert_eq!(zaps_in, zaps_out, "viewership must be conserved");
+        // Every arrival is accounted for: completed, still waiting, or
+        // abandoned (departed again before playback started).
+        for c in &report.channels {
+            assert_eq!(
+                c.zaps_in,
+                c.zap_latency.zaps(),
+                "channel {} loses zaps from its statistics",
+                c.channel
+            );
+        }
+        assert_eq!(report.total_zaps(), zaps_in);
+        // Every channel keeps streaming throughout.
+        for c in &report.channels {
+            assert_eq!(c.periods, 70);
+            assert!(c.traffic.data_bits > 0);
+            assert!(c.viewers > 5);
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_pool_sizes() {
+        let run = |workers: usize| {
+            let mut m = manager(workers, 4, 11);
+            m.warmup(25);
+            m.run_periods(30);
+            m.report()
+        };
+        let reference = run(1);
+        for workers in [2, 4, 7] {
+            assert_eq!(run(workers), reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn pool_reuse_across_sessions_leaks_no_state() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let run_on = |pool: &Arc<WorkerPool>, seed: u64| {
+            let config = SessionConfig {
+                seed,
+                ..SessionConfig::paper_default(3, 40)
+            };
+            let mut m = SessionManager::new(config, Arc::clone(pool), || {
+                Box::new(FastSwitchScheduler::new())
+            });
+            m.warmup(20);
+            m.run_periods(25);
+            m.report()
+        };
+        // Two different sessions back to back on one pool...
+        let first = run_on(&pool, 1);
+        let second = run_on(&pool, 2);
+        // ...must match the same sessions on fresh pools.
+        assert_eq!(first, run_on(&Arc::new(WorkerPool::new(3)), 1));
+        assert_eq!(second, run_on(&Arc::new(WorkerPool::new(3)), 2));
+        assert_ne!(first, second, "different seeds produce different runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 channels")]
+    fn single_channel_session_panics() {
+        let _ = manager(1, 1, 3);
+    }
+
+    #[test]
+    fn config_validation() {
+        let good = SessionConfig::paper_default(4, 50);
+        good.validate().unwrap();
+        assert!(SessionConfig {
+            viewers_per_channel: 4,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SessionConfig {
+            zap_fraction: 0.9,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SessionConfig {
+            zap_degree: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Scoped-job execution abstraction.
+//!
+//! The simulation stack has three call sites that fan identical, independent
+//! chunks of work out over threads: the per-period scheduling sweep inside
+//! `fss-gossip`, the multi-channel session stepping in `fss-runtime`, and the
+//! scenario sweeps in `fss-experiments`.  All three share one contract,
+//! defined here so the lowest-level crates stay free of any thread-pool
+//! dependency:
+//!
+//! * a [`ScopedJob`] is a borrow-friendly unit of work indexed by *chunk*:
+//!   `run_chunk(i)` must be callable for every `i < chunks`, from any thread,
+//!   concurrently with other chunk indices;
+//! * a [`JobExecutor`] runs all chunks of a job and returns only when every
+//!   chunk has completed, which is what makes lending stack-borrowed jobs to
+//!   long-lived worker threads sound (the persistent pool in `fss-runtime`
+//!   relies on exactly this post-condition);
+//! * results are written to per-**chunk** slots — never per-*worker* state —
+//!   so which thread executes which chunk can never influence any output.
+//!   [`DisjointSlots`] is the helper that hands each chunk exclusive mutable
+//!   access to its slot.
+//!
+//! Determinism contract: an executor may run chunks in any order and on any
+//! thread, but a job whose chunks only touch chunk-indexed state produces
+//! byte-identical results under every conforming executor, including the
+//! in-line [`SerialExecutor`].
+
+use std::marker::PhantomData;
+
+/// A unit of fan-out work: `run_chunk(i)` executes the `i`-th independent
+/// chunk.
+///
+/// Implementations must tolerate chunks running concurrently on different
+/// threads (hence the `Sync` supertrait) and in any order.  Closures
+/// `Fn(usize) + Sync` implement this automatically.
+pub trait ScopedJob: Sync {
+    /// Executes chunk `chunk` (0-based).
+    fn run_chunk(&self, chunk: usize);
+}
+
+impl<F: Fn(usize) + Sync> ScopedJob for F {
+    fn run_chunk(&self, chunk: usize) {
+        self(chunk)
+    }
+}
+
+/// Runs every chunk of a [`ScopedJob`], returning only once all have
+/// completed.
+///
+/// The completion post-condition is load-bearing: callers lend jobs that
+/// borrow their stack frame, so an executor must never let a chunk outlive
+/// the `execute` call.
+pub trait JobExecutor: Send + Sync {
+    /// Runs `job.run_chunk(i)` for every `i` in `0..chunks` and waits for all
+    /// of them.
+    fn execute(&self, chunks: usize, job: &dyn ScopedJob);
+}
+
+/// The trivial executor: runs chunks 0, 1, 2, … in-line on the calling
+/// thread.
+///
+/// Every parallel lane degrades to this (byte-identically) when no pool is
+/// attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl JobExecutor for SerialExecutor {
+    fn execute(&self, chunks: usize, job: &dyn ScopedJob) {
+        for chunk in 0..chunks {
+            job.run_chunk(chunk);
+        }
+    }
+}
+
+/// Hands each chunk of a [`ScopedJob`] exclusive `&mut` access to one slot of
+/// a caller-owned slice.
+///
+/// This is the bridge between the shared-`&self` world of [`ScopedJob`] and
+/// the per-chunk mutable state (worker scratch arenas, result slots) the
+/// jobs actually need.  The caller keeps ownership of the slice; the wrapper
+/// only erases the `&mut` so the job closure can stay `Fn`.
+///
+/// # Safety contract
+///
+/// [`DisjointSlots::slot`] is `unsafe`: the caller promises that within one
+/// `execute` run every index is borrowed by **at most one** chunk at a time.
+/// The natural pattern — chunk `i` touches only slot `i` — satisfies this by
+/// construction, and conforming executors never run the same chunk index
+/// twice.
+pub struct DisjointSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only lends out disjoint `&mut T` under the documented
+// contract, so sharing it across threads is exactly as safe as sending each
+// `&mut T` to one thread.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    /// Wraps `slice`, taking its mutable borrow for the wrapper's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlots {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to slot `index`.
+    ///
+    /// # Safety
+    /// Each index must be borrowed by at most one thread at a time; two
+    /// simultaneous `slot(i)` calls for the same `i` are undefined behaviour.
+    /// See the type-level contract.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    #[allow(clippy::mut_from_ref)] // the whole point; contract documented above
+    pub unsafe fn slot(&self, index: usize) -> &mut T {
+        assert!(index < self.len, "slot {index} out of {} slots", self.len);
+        // SAFETY: bounds checked above; exclusivity is the caller's contract.
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_runs_all_chunks_in_order() {
+        let mut out = vec![0usize; 5];
+        let slots = DisjointSlots::new(&mut out);
+        assert_eq!(slots.len(), 5);
+        assert!(!slots.is_empty());
+        SerialExecutor.execute(5, &|i: usize| {
+            // SAFETY: chunk i touches only slot i.
+            let slot = unsafe { slots.slot(i) };
+            *slot = i * 10;
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        let job = |_: usize| panic!("must not run");
+        SerialExecutor.execute(0, &job);
+    }
+
+    #[test]
+    fn scoped_job_trait_object_dispatch() {
+        struct Collatz;
+        impl ScopedJob for Collatz {
+            fn run_chunk(&self, _chunk: usize) {}
+        }
+        let job: &dyn ScopedJob = &Collatz;
+        SerialExecutor.execute(3, job);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_slot_panics() {
+        let mut out = [0u8; 2];
+        let slots = DisjointSlots::new(&mut out);
+        let _ = unsafe { slots.slot(2) };
+    }
+}

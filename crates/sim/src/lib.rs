@@ -12,7 +12,10 @@
 //! * [`RngFactory`] — reproducible per-stream random number generators derived
 //!   from a single master seed, and
 //! * [`PeriodDriver`] — a convenience driver for period-synchronous protocols
-//!   (the gossip scheduling period `τ` of the paper).
+//!   (the gossip scheduling period `τ` of the paper), and
+//! * [`JobExecutor`] / [`ScopedJob`] — the scoped fan-out contract shared by
+//!   the gossip scheduling sweep, the `fss-runtime` worker pool and the
+//!   experiment sweeps (per-chunk slots make results executor-independent).
 //!
 //! The engine is intentionally free of any networking or streaming concepts;
 //! those live in `fss-gossip`.
@@ -21,6 +24,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod exec;
 pub mod period;
 pub mod queue;
 pub mod rng;
@@ -28,6 +32,7 @@ pub mod time;
 
 pub use engine::{Engine, EventHandler, Scheduler};
 pub use event::ScheduledEvent;
+pub use exec::{DisjointSlots, JobExecutor, ScopedJob, SerialExecutor};
 pub use period::{PeriodControl, PeriodDriver};
 pub use queue::EventQueue;
 pub use rng::{RngFactory, StreamRng};

@@ -15,7 +15,9 @@
 //!   priorities, the greedy supplier assignment, and the Fast/Normal switch
 //!   schedulers,
 //! * [`metrics`] — metric aggregation (switch times, reduction ratio,
-//!   communication overhead, ratio tracks), and
+//!   communication overhead, ratio tracks, zap latencies),
+//! * [`runtime`] — the persistent deterministic worker pool and the
+//!   multi-channel session manager (channel-zapping workloads), and
 //! * [`experiments`] — the scenario runner and the per-figure harness.
 //!
 //! # Quick start
@@ -42,6 +44,7 @@ pub use fss_experiments as experiments;
 pub use fss_gossip as gossip;
 pub use fss_metrics as metrics;
 pub use fss_overlay as overlay;
+pub use fss_runtime as runtime;
 pub use fss_sim as sim;
 pub use fss_trace as trace;
 
@@ -55,8 +58,9 @@ pub mod prelude {
     pub use fss_gossip::{
         GossipConfig, SchedulingContext, SegmentId, SegmentScheduler, StreamingSystem,
     };
-    pub use fss_metrics::{reduction_ratio, SwitchSummary, Table};
+    pub use fss_metrics::{reduction_ratio, SwitchSummary, Table, ZapSummary};
     pub use fss_overlay::{ChurnModel, Overlay, OverlayBuilder, OverlayConfig, PeerId};
+    pub use fss_runtime::{RuntimeReport, SessionConfig, SessionManager, WorkerPool};
     pub use fss_trace::{GeneratorConfig, TraceCatalog, TraceGenerator};
 }
 

@@ -14,8 +14,15 @@ use fast_source_switching::trace::{GeneratorConfig, TraceGenerator};
 enum Path {
     Reference,
     Optimized,
+    /// Chunked scheduling sweep without an executor (in-line chunks).
     #[allow(dead_code)]
     Parallel(usize),
+    /// Chunked scheduling sweep on a persistent pool of the given size.
+    #[allow(dead_code)]
+    Pool {
+        chunks: usize,
+        workers: usize,
+    },
 }
 
 /// Runs the 200-node churned switch scenario through the selected period
@@ -27,12 +34,19 @@ fn run_churn_scenario(scheduler: Box<dyn SegmentScheduler>, path: Path) -> Syste
     let (s1, s2) = (peers[0], peers[peers.len() / 2]);
 
     let mut sys = StreamingSystem::new(overlay, GossipConfig::paper_default(), scheduler);
-    if let Path::Parallel(workers) = path {
-        sys.set_parallelism(workers);
+    match path {
+        Path::Parallel(workers) => sys.set_parallelism(workers),
+        Path::Pool { chunks, workers } => {
+            sys.set_parallelism(chunks);
+            let pool =
+                std::sync::Arc::new(fast_source_switching::runtime::WorkerPool::new(workers));
+            sys.set_executor(pool.as_executor());
+        }
+        Path::Reference | Path::Optimized => {}
     }
     let step = |sys: &mut StreamingSystem| match path {
         Path::Reference => sys.step_reference(),
-        Path::Optimized | Path::Parallel(_) => sys.step(),
+        Path::Optimized | Path::Parallel(_) | Path::Pool { .. } => sys.step(),
     };
 
     sys.start_initial_source(s1);
@@ -77,4 +91,66 @@ fn parallel_sweep_matches_sequential_under_churn() {
         );
         assert_eq!(parallel, sequential, "workers = {workers}");
     }
+}
+
+/// The pool determinism guarantee: the scheduling sweep dispatched onto the
+/// persistent worker pool produces byte-identical reports for every pool
+/// size — 1 (in-line), 2, 4 and 7 workers — under churn, and matches the
+/// sequential and reference paths.
+#[cfg(feature = "parallel")]
+#[test]
+fn pool_backed_sweep_is_byte_identical_across_pool_sizes() {
+    let sequential = run_churn_scenario(Box::new(FastSwitchScheduler::new()), Path::Optimized);
+    for workers in [1, 2, 4, 7] {
+        let pooled = run_churn_scenario(
+            Box::new(FastSwitchScheduler::new()),
+            Path::Pool { chunks: 4, workers },
+        );
+        assert_eq!(pooled, sequential, "pool workers = {workers}");
+    }
+}
+
+/// Pool reuse across consecutive sessions: a pool that already ran one full
+/// session must drive a second one to exactly the report a fresh pool
+/// produces (no state leakage through the persistent workers).
+#[cfg(feature = "parallel")]
+#[test]
+fn pool_reuse_across_sessions_matches_fresh_pool() {
+    use fast_source_switching::runtime::WorkerPool;
+    use std::sync::Arc;
+
+    let run_on = |pool: &Arc<WorkerPool>, scheduler: Box<dyn SegmentScheduler>| {
+        let trace = TraceGenerator::new(GeneratorConfig::sized(150, 42)).generate("pool-reuse");
+        let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+        let peers: Vec<PeerId> = overlay.active_peers().collect();
+        let (s1, s2) = (peers[0], peers[peers.len() / 2]);
+        let mut sys = StreamingSystem::new(overlay, GossipConfig::paper_default(), scheduler);
+        sys.set_parallelism(4);
+        sys.set_executor(pool.as_executor());
+        sys.start_initial_source(s1);
+        sys.run_periods(30);
+        sys.set_churn(ChurnModel::paper_default(7));
+        sys.switch_source(s2);
+        sys.run_periods(60);
+        sys.report()
+    };
+
+    let shared = Arc::new(WorkerPool::new(3));
+    let first = run_on(&shared, Box::new(FastSwitchScheduler::new()));
+    let second = run_on(&shared, Box::new(NormalSwitchScheduler::new()));
+    assert_eq!(
+        first,
+        run_on(
+            &Arc::new(WorkerPool::new(3)),
+            Box::new(FastSwitchScheduler::new())
+        )
+    );
+    assert_eq!(
+        second,
+        run_on(
+            &Arc::new(WorkerPool::new(3)),
+            Box::new(NormalSwitchScheduler::new())
+        )
+    );
+    assert_ne!(first, second, "schedulers must differ on this workload");
 }
