@@ -10,10 +10,16 @@
 //! * `session/*` — end-to-end: one period of a 4-channel zapping
 //!   [`SessionManager`] sharded over pools of 1 and 4 workers (identical
 //!   reports either way; on a 1-vCPU container the sizes should tie).
+//! * `pipeline/*` — many-channel stepping, barrier versus pipelined mode:
+//!   10 measured periods of an 8-channel Zipf-zapping session.  The
+//!   pipelined lane pays one pool dispatch per *round* (potentially many
+//!   periods) instead of one per period, and fast channels never wait for
+//!   slow ones at a global barrier — reports are byte-identical either
+//!   way, so the delta is pure wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fss_core::FastSwitchScheduler;
-use fss_runtime::{SessionConfig, SessionManager, WorkerPool};
+use fss_runtime::{SessionConfig, SessionManager, SteppingMode, WorkerPool, ZapWorkload};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -74,5 +80,55 @@ fn bench_session(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_session);
+/// An 8-channel session with a sparse Zipf(1.0) zap workload, so channels
+/// have real run-ahead room between their pairwise sync points.
+fn many_channel_session(workers: usize, mode: SteppingMode) -> SessionManager {
+    let config = SessionConfig {
+        zap_fraction: 0.005,
+        ..SessionConfig::paper_default(8, 50)
+    };
+    let mut manager = SessionManager::new(config, Arc::new(WorkerPool::new(workers)), || {
+        Box::new(FastSwitchScheduler::new())
+    });
+    manager.set_workload(ZapWorkload::Zipf { alpha: 1.0 });
+    manager.set_mode(mode);
+    manager.warmup(40);
+    manager
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    for workers in [1, 4] {
+        let mut barrier = many_channel_session(workers, SteppingMode::Barrier);
+        group.bench_function(format!("many_channel_barrier_pool{workers}"), |b| {
+            b.iter(|| barrier.run_periods(10))
+        });
+
+        let mut pipelined = many_channel_session(workers, SteppingMode::pipelined());
+        group.bench_function(format!("many_channel_pipelined_pool{workers}"), |b| {
+            b.iter(|| pipelined.run_periods(10))
+        });
+    }
+
+    group.finish();
+
+    // The structural (noise-free) comparison: pool dispatches per measured
+    // period.  Barrier stepping pays one dispatch per period; pipelined
+    // stepping pays one per round, where a round covers up to `run_ahead`
+    // periods of every channel not parked at a sync point.
+    for (label, mode) in [
+        ("barrier", SteppingMode::Barrier),
+        ("pipelined", SteppingMode::pipelined()),
+    ] {
+        let mut manager = many_channel_session(1, mode);
+        let before = manager.pool().dispatches();
+        manager.run_periods(40);
+        let dispatches = manager.pool().dispatches() - before;
+        println!("note: pipeline/dispatches_per_40_periods_{label}: {dispatches}");
+    }
+}
+
+criterion_group!(benches, bench_dispatch, bench_session, bench_pipeline);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! 1. scores every candidate segment with `priority = max(urgency, rarity)`
 //!    and greedily assigns each one to the supplier that can deliver it
 //!    earliest within the period, yielding the ordered schedulable sets `O1`
-//!    and `O2` ([`greedy_assign`]),
+//!    and `O2` ([`greedy_assign`](crate::assign::greedy_assign)),
 //! 2. computes the ideal inbound split `r1`/`r2` from the closed-form model
 //!    ([`SwitchModel::optimal_split`]),
 //! 3. clamps it to the available supply with the four-case rule

@@ -5,7 +5,7 @@
 //!
 //! * [`model`] — the source-switch optimization problem and its closed-form
 //!   optimal solution `I1 = r1`, `I2 = I − r1` (equations (1)–(5)),
-//! * [`priority`] — per-segment urgency, rarity and requesting priority
+//! * [`mod@priority`] — per-segment urgency, rarity and requesting priority
 //!   (equations (6)–(9)),
 //! * [`assign`] — the greedy earliest-supplier assignment of Algorithm 1
 //!   (step 1), which builds the ordered schedulable sets `O1` and `O2`,

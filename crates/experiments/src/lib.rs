@@ -8,7 +8,8 @@
 //! * [`sweep`] — parallel sweeps over network sizes (chunks on the
 //!   persistent `fss-runtime` worker pool, one simulation per chunk),
 //! * [`zapping`] — the multi-channel channel-zapping workload (viewers
-//!   hopping between concurrent streams) and its channel-count sweep,
+//!   hopping between concurrent streams) and its sweeps: channel count,
+//!   Zipf popularity skew, flash-crowd storm size,
 //! * [`figures`] — one module per evaluation figure (5–12) producing the
 //!   table/series the paper plots.
 //!
@@ -26,4 +27,7 @@ pub mod zapping;
 pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};
 pub use sweep::{sweep_sizes, sweep_sizes_on, SweepPoint};
-pub use zapping::{run_channel_zapping, sweep_channel_counts, ZappingScenario, ZappingSweepPoint};
+pub use zapping::{
+    run_channel_zapping, sweep_channel_counts, sweep_storm_sizes, sweep_zipf_alphas,
+    AlphaSweepPoint, StormSweepPoint, ZappingScenario, ZappingSweepPoint,
+};

@@ -73,29 +73,31 @@ pub fn sweep_sizes_on(
             *slot = Some(run_scenario(&config));
         });
     }
-    let results: Vec<(usize, Algorithm, RunResult)> = jobs
-        .into_iter()
-        .zip(results)
-        .map(|((nodes, algorithm), result)| {
-            (nodes, algorithm, result.expect("sweep chunk completed"))
-        })
-        .collect();
-
+    // Assemble by moving each result out of its slot — run results carry
+    // whole switch-record tables, so cloning them per size point would
+    // double the sweep's peak memory for nothing.
+    let mut results = results.into_iter();
     let mut points = Vec::with_capacity(sizes.len());
     for &nodes in sizes {
-        let fast = results
-            .iter()
-            .find(|(n, a, _)| *n == nodes && *a == Algorithm::Fast)
-            .map(|(_, _, r)| r.clone())
-            .expect("fast run present");
-        let normal = results
-            .iter()
-            .find(|(n, a, _)| *n == nodes && *a == Algorithm::Normal)
-            .map(|(_, _, r)| r.clone())
-            .expect("normal run present");
+        let mut fast = None;
+        let mut normal = None;
+        for algorithm in Algorithm::ALL {
+            let result = results
+                .next()
+                .flatten()
+                .expect("one result per (size, algorithm) job");
+            debug_assert_eq!(result.nodes, nodes);
+            match algorithm {
+                Algorithm::Fast => fast = Some(result),
+                Algorithm::Normal => normal = Some(result),
+            }
+        }
         points.push(SweepPoint {
             nodes,
-            comparison: ComparisonResult { fast, normal },
+            comparison: ComparisonResult {
+                fast: fast.expect("fast run present"),
+                normal: normal.expect("normal run present"),
+            },
         });
     }
     points

@@ -6,12 +6,24 @@
 //! entertainment setting of PAPERS.md) face the dual problem — a *viewer
 //! switching between streams* — which makes per-zap startup delay a
 //! first-class metric.  This module runs that workload on the
-//! `fss-runtime` [`SessionManager`] and sweeps it over the channel count,
-//! answering: how does zap latency behave as viewership spreads over more,
-//! smaller channels at constant total population?
+//! `fss-runtime` [`SessionManager`] and sweeps it along three axes:
+//!
+//! * [`sweep_channel_counts`] — how does zap latency behave as viewership
+//!   spreads over more, smaller channels at constant total population?
+//! * [`sweep_zipf_alphas`] — how does channel-popularity skew (Zipf α)
+//!   shift the zap load and the latency distribution?
+//! * [`sweep_storm_sizes`] — how does a flash crowd of growing size stress
+//!   the target channel's join path?
+//!
+//! All runs use the pipelined stepping mode (channels synchronise pairwise
+//! at zap batches only), whose reports are byte-identical to barrier
+//! stepping — the `fss-runtime` test-suite proves it, so the sweeps get the
+//! pipeline's wall-clock without any results caveat.
 
 use crate::scenario::Algorithm;
-use fss_runtime::{RuntimeReport, SessionConfig, SessionManager, WorkerPool};
+use fss_runtime::{
+    RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool, ZapWorkload,
+};
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -20,6 +32,8 @@ use std::sync::Arc;
 pub struct ZappingScenario {
     /// The multi-channel session layout (channels, viewers, zap rate).
     pub session: SessionConfig,
+    /// The zap workload shape (uniform / Zipf / flash crowd).
+    pub workload: ZapWorkload,
     /// The scheduling policy every channel runs.
     pub algorithm: Algorithm,
     /// Zap-free periods to reach steady playback before measuring.
@@ -30,10 +44,11 @@ pub struct ZappingScenario {
 
 impl ZappingScenario {
     /// Paper-flavoured defaults at a given channel count and per-channel
-    /// audience.
+    /// audience, with the uniform workload.
     pub fn paper(channels: usize, viewers_per_channel: usize) -> Self {
         ZappingScenario {
             session: SessionConfig::paper_default(channels, viewers_per_channel),
+            workload: ZapWorkload::Uniform,
             algorithm: Algorithm::Fast,
             warmup_periods: 40,
             measure_periods: 120,
@@ -48,14 +63,21 @@ impl ZappingScenario {
             ..Self::paper(channels, viewers_per_channel)
         }
     }
+
+    /// The same scenario with a different workload shape.
+    pub fn with_workload(self, workload: ZapWorkload) -> Self {
+        ZappingScenario { workload, ..self }
+    }
 }
 
-/// Runs one channel-zapping scenario on `pool` and returns the runtime
-/// report (deterministic for any pool size).
+/// Runs one channel-zapping scenario on `pool` — pipelined stepping,
+/// deterministic for any pool size — and returns the runtime report.
 pub fn run_channel_zapping(scenario: &ZappingScenario, pool: &Arc<WorkerPool>) -> RuntimeReport {
     let mut manager = SessionManager::new(scenario.session, Arc::clone(pool), || {
         scenario.algorithm.scheduler()
     });
+    manager.set_workload(scenario.workload);
+    manager.set_mode(SteppingMode::pipelined());
     manager.warmup(scenario.warmup_periods);
     manager.run_periods(scenario.measure_periods);
     manager.report()
@@ -110,6 +132,66 @@ pub fn sweep_channel_counts(
         .collect()
 }
 
+/// One point of the popularity-skew sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AlphaSweepPoint {
+    /// The Zipf exponent of the workload (0 = uniform popularity).
+    pub alpha: f64,
+    /// The aggregated runtime report under that skew.
+    pub report: RuntimeReport,
+}
+
+/// Sweeps the Zipf exponent of the channel-popularity distribution over
+/// `alphas`, holding the session layout fixed: how does concentrating the
+/// audience on a few popular channels move the zap load and latency?
+pub fn sweep_zipf_alphas(
+    alphas: &[f64],
+    base: &ZappingScenario,
+    pool: &Arc<WorkerPool>,
+) -> Vec<AlphaSweepPoint> {
+    alphas
+        .iter()
+        .map(|&alpha| AlphaSweepPoint {
+            alpha,
+            report: run_channel_zapping(&base.with_workload(ZapWorkload::Zipf { alpha }), pool),
+        })
+        .collect()
+}
+
+/// One point of the flash-crowd sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StormSweepPoint {
+    /// Viewers converging on the target channel in the storm period.
+    pub storm_size: usize,
+    /// The aggregated runtime report for that storm.
+    pub report: RuntimeReport,
+}
+
+/// Sweeps the size of a flash crowd converging on channel 0 halfway through
+/// the measured window, on top of the base scenario's background uniform
+/// zap rate: how does a switch storm of growing size stress the join path?
+pub fn sweep_storm_sizes(
+    sizes: &[usize],
+    base: &ZappingScenario,
+    pool: &Arc<WorkerPool>,
+) -> Vec<StormSweepPoint> {
+    let at = base.warmup_periods + base.measure_periods / 2;
+    sizes
+        .iter()
+        .map(|&size| StormSweepPoint {
+            storm_size: size,
+            report: run_channel_zapping(
+                &base.with_workload(ZapWorkload::FlashCrowd {
+                    target: 0,
+                    at,
+                    size,
+                }),
+                pool,
+            ),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +202,7 @@ mod tests {
         let pool = Arc::new(WorkerPool::new(2));
         let report = run_channel_zapping(&scenario, &pool);
         assert_eq!(report.channels.len(), 4);
+        assert_eq!(report.workload, "uniform");
         assert_eq!(
             report.periods,
             scenario.warmup_periods + scenario.measure_periods
@@ -148,6 +231,47 @@ mod tests {
             assert_eq!(viewers, 120, "channels = {}", point.channels);
             assert!(point.report.total_zaps() > 0);
         }
+    }
+
+    #[test]
+    fn alpha_sweep_increases_arrival_skew() {
+        let base = ZappingScenario {
+            measure_periods: 40,
+            warmup_periods: 20,
+            ..ZappingScenario::quick(4, 40)
+        };
+        let pool = Arc::new(WorkerPool::new(2));
+        let points = sweep_zipf_alphas(&[0.0, 1.5], &base, &pool);
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert!(point.report.total_zaps() > 0, "alpha = {}", point.alpha);
+            assert_eq!(point.report.workload, format!("zipf({})", point.alpha));
+        }
+        // A strong skew concentrates arrivals harder than no skew.
+        assert!(
+            points[1].report.zap_load.gini > points[0].report.zap_load.gini,
+            "gini did not grow with alpha: {:?} vs {:?}",
+            points[0].report.zap_load,
+            points[1].report.zap_load
+        );
+    }
+
+    #[test]
+    fn storm_sweep_scales_the_burst() {
+        let base = ZappingScenario {
+            measure_periods: 30,
+            warmup_periods: 20,
+            ..ZappingScenario::quick(3, 40)
+        };
+        let pool = Arc::new(WorkerPool::new(2));
+        let points = sweep_storm_sizes(&[0, 40], &base, &pool);
+        assert_eq!(points.len(), 2);
+        // The storm lands on channel 0 and dominates the arrival counts.
+        let calm = &points[0].report;
+        let stormy = &points[1].report;
+        assert!(stormy.channels[0].zaps_in >= calm.channels[0].zaps_in + 30);
+        assert_eq!(stormy.zap_load.busiest_channel, 0);
+        assert!(stormy.zap_load.busiest_share > calm.zap_load.busiest_share);
     }
 
     #[test]

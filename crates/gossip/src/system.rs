@@ -363,6 +363,56 @@ impl StreamingSystem {
         Ok(id)
     }
 
+    /// Removes a batch of peers and repairs the membership once — the
+    /// departure half of a *zap batch* (a group of viewers leaving this
+    /// channel for another one at the same period boundary).
+    ///
+    /// Equivalent to [`depart_peer`](Self::depart_peer) for every peer
+    /// followed by one [`repair_membership`](Self::repair_membership) call;
+    /// batching the repair is what keeps a multi-viewer zap batch a single
+    /// pairwise synchronisation point between two channels.  An empty batch
+    /// is a no-op (no repair pass, no RNG consumption).
+    ///
+    /// # Panics
+    /// Panics if any peer has ever been a source (see
+    /// [`depart_peer`](Self::depart_peer)).
+    pub fn depart_batch(&mut self, peers: &[PeerId]) -> Result<(), OverlayError> {
+        if peers.is_empty() {
+            return Ok(());
+        }
+        for &peer in peers {
+            self.depart_peer(peer)?;
+        }
+        self.repair_membership();
+        Ok(())
+    }
+
+    /// Admits a batch of peers and repairs the membership once — the arrival
+    /// half of a *zap batch*.
+    ///
+    /// Exactly like the churn join rule, all arrivals are registered first
+    /// and only then pointed at their neighbours' playback steps, so
+    /// arrivals may neighbour each other within the batch.  Returns the new
+    /// peer ids in batch order.  An empty batch is a no-op.
+    pub fn admit_batch(
+        &mut self,
+        arrivals: &[(PeerAttrs, Vec<PeerId>)],
+    ) -> Result<Vec<PeerId>, OverlayError> {
+        let mut ids = Vec::with_capacity(arrivals.len());
+        for (attrs, neighbors) in arrivals {
+            let id = self.overlay.add_peer(*attrs, neighbors)?;
+            self.register_joined_peer(id);
+            ids.push(id);
+        }
+        for &id in &ids {
+            self.rejoin_at_neighbours(id);
+        }
+        if !ids.is_empty() {
+            self.repair_membership();
+        }
+        Ok(ids)
+    }
+
     /// Allocates the protocol state of a peer the overlay just added.
     fn register_joined_peer(&mut self, id: PeerId) {
         debug_assert_eq!(id as usize, self.peers.len());
@@ -1322,6 +1372,50 @@ mod tests {
             .unwrap();
         assert!(sys.peer(joined).playback().join_point() >= min_neighbour_play);
         sys.run_periods(5); // the system keeps running with the newcomer
+    }
+
+    /// The batched zap hooks must behave like per-peer depart/admit plus one
+    /// repair pass, and arrivals within a batch may neighbour each other.
+    #[test]
+    fn batched_zap_hooks_mirror_single_peer_calls() {
+        let mut sys = build_system(40, 9);
+        let (source, _) = first_two(&sys);
+        sys.start_initial_source(source);
+        sys.run_periods(20);
+
+        let leavers: Vec<PeerId> = sys
+            .overlay()
+            .active_peers()
+            .filter(|&p| p != source)
+            .take(4)
+            .collect();
+        sys.depart_batch(&leavers).unwrap();
+        for &p in &leavers {
+            assert!(!sys.overlay().graph().is_active(p));
+            assert!(sys.report().switch_records[p as usize].departed);
+        }
+        // Membership was repaired: every active node keeps its min degree.
+        let min_degree = sys.overlay().config().min_degree;
+        for p in sys.overlay().active_peers().collect::<Vec<_>>() {
+            assert!(sys.overlay().neighbors(p).len() >= min_degree.min(3));
+        }
+
+        // Admit a batch in which the second arrival neighbours the first.
+        let attrs = *sys.overlay().attrs(source).unwrap();
+        let hosts: Vec<PeerId> = sys.overlay().active_peers().take(5).collect();
+        let first_id = sys.overlay().graph().capacity() as PeerId;
+        let batch = vec![(attrs, hosts.clone()), (attrs, vec![hosts[0], first_id])];
+        let ids = sys.admit_batch(&batch).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], first_id);
+        for &id in &ids {
+            assert!(sys.overlay().graph().is_active(id));
+        }
+        assert!(sys.overlay().neighbors(ids[1]).contains(&ids[0]));
+        // Empty batches are no-ops.
+        sys.depart_batch(&[]).unwrap();
+        assert!(sys.admit_batch(&[]).unwrap().is_empty());
+        sys.run_periods(5);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   11),
 //! * [`switch::ZapSummary`] — channel-zap startup delays of the
 //!   multi-channel runtime (viewers hopping between concurrent streams),
+//! * [`zapload::ZapLoadSummary`] — the arrival skew across channels
+//!   realised by a popularity-skewed (Zipf / flash-crowd) zap workload,
 //! * [`timeseries::RatioTrack`] — the undelivered-`S1` / delivered-`S2`
 //!   tracks of Figures 5 and 9,
 //! * [`overhead::OverheadSummary`] — the communication overhead of Figures 8
@@ -25,9 +27,11 @@ pub mod report;
 pub mod summary;
 pub mod switch;
 pub mod timeseries;
+pub mod zapload;
 
 pub use overhead::OverheadSummary;
 pub use report::Table;
 pub use summary::Summary;
 pub use switch::{reduction_ratio, SwitchSummary, ZapSummary};
 pub use timeseries::RatioTrack;
+pub use zapload::ZapLoadSummary;

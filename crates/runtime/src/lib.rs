@@ -3,8 +3,8 @@
 //! The reproduction's lower crates simulate *one* stream; the ROADMAP's
 //! north star (millions of users, many scenarios, hardware-speed execution)
 //! needs a runtime that hosts many sessions and keeps the hardware busy
-//! without ever sacrificing determinism.  This crate provides the two
-//! tightly coupled pieces:
+//! without ever sacrificing determinism.  This crate provides three tightly
+//! coupled pieces:
 //!
 //! * [`WorkerPool`] — a **persistent, deterministic worker pool**.  Long-
 //!   lived workers execute [`fss_sim::ScopedJob`]s with dynamically stolen
@@ -16,16 +16,23 @@
 //!   call sites, zero thread spawns per period.
 //!
 //! * [`SessionManager`] — a **multi-channel session manager**.  Hosts `N`
-//!   concurrent channels (independent streaming systems) sharded across the
-//!   pool and drives a viewer *channel-zapping* workload: every period a
-//!   fraction of each channel's viewers leave and join another channel,
-//!   and the time until their playback starts there is recorded as that
-//!   viewer's zap latency ([`fss_metrics::ZapSummary`]).  The aggregated
-//!   [`RuntimeReport`] is deterministic — identical bytes for 1 or N
-//!   workers.
+//!   concurrent channels (independent streaming systems) on the pool and
+//!   drives a viewer *channel-zapping* workload; each arrival's time-to-
+//!   playback is its zap latency ([`fss_metrics::ZapSummary`]).  Channels
+//!   advance either in lockstep ([`SteppingMode::Barrier`]) or as a
+//!   **dependency-tracked pipeline** ([`SteppingMode::Pipelined`]) in which
+//!   a zap batch synchronises only its two endpoint channels and everyone
+//!   else runs ahead (bounded by `run_ahead`) — with byte-identical
+//!   [`RuntimeReport`]s either way, for any pool size.
 //!
-//! See `docs/runtime.md` for the determinism model and the zap-latency
-//! definition.
+//! * [`zap`] — **pluggable zap workloads** ([`ZapSchedule`]): uniform
+//!   targets, Zipf(α) popularity skew ([`zap::ZipfSampler`]) and
+//!   flash-crowd storms ([`zap::Storm`]), all generating their batches
+//!   from configuration and seed alone so the pipeline can compute every
+//!   channel's sync points up front.
+//!
+//! See `docs/runtime.md` for the determinism model, the pipelining design
+//! and the zap-latency definition.
 //!
 //! [`StreamingSystem`]: fss_gossip::StreamingSystem
 
@@ -33,6 +40,8 @@
 
 pub mod pool;
 pub mod session;
+pub mod zap;
 
 pub use pool::WorkerPool;
-pub use session::{ChannelReport, RuntimeReport, SessionConfig, SessionManager};
+pub use session::{ChannelReport, RuntimeReport, SessionConfig, SessionManager, SteppingMode};
+pub use zap::{ZapSchedule, ZapWorkload};

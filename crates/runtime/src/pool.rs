@@ -42,6 +42,7 @@ use fss_sim::exec::{JobExecutor, ScopedJob};
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -100,6 +101,9 @@ struct Shared {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Jobs dispatched so far (in-line or fanned out) — an observability
+    /// counter for benchmarks comparing execution strategies.
+    dispatches: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -140,7 +144,11 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { shared, handles }
+        WorkerPool {
+            shared,
+            handles,
+            dispatches: AtomicU64::new(0),
+        }
     }
 
     /// Creates a pool sized to the machine (`available_parallelism`, at
@@ -152,6 +160,15 @@ impl WorkerPool {
     /// Total worker count (background threads + the submitting thread).
     pub fn workers(&self) -> usize {
         self.handles.len() + 1
+    }
+
+    /// Number of non-empty jobs dispatched through this pool so far
+    /// (in-line fast-path jobs included).  Purely observational: barrier
+    /// session stepping pays one dispatch per period, pipelined stepping
+    /// one per *round* — this counter is how benchmarks report that
+    /// difference without wall-clock noise.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
     }
 
     /// Shares the pool as a [`JobExecutor`] trait object, the form
@@ -174,6 +191,7 @@ impl WorkerPool {
         if chunks == 0 {
             return;
         }
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
         if self.handles.is_empty() || chunks == 1 || IN_CHUNK.with(Cell::get) {
             // In-line path: nothing worth handing to background workers, or
             // a nested dispatch from inside a chunk of this (or another)
@@ -205,7 +223,16 @@ impl WorkerPool {
             state.finished = 0;
             debug_assert!(state.panic.is_none());
         }
-        self.shared.work_cv.notify_all();
+        // The submitting thread takes chunks too, so at most `chunks - 1`
+        // background workers can find work: waking more would only cost
+        // spurious context switches on small jobs.
+        if chunks > self.handles.len() {
+            self.shared.work_cv.notify_all();
+        } else {
+            for _ in 0..chunks - 1 {
+                self.shared.work_cv.notify_one();
+            }
+        }
 
         // Participate, then wait for the stragglers.  Only this thread can
         // clear the job slot it published, so `finished`/`chunks` cannot be

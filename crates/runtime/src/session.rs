@@ -1,35 +1,58 @@
-//! Multi-channel session management with channel-zapping viewers.
+//! Multi-channel session management with pipelined stepping and pluggable
+//! zap workloads.
 //!
 //! The paper evaluates *one* stream per process; real deployments (and the
 //! CliqueStream / live-entertainment settings in PAPERS.md) serve many
 //! concurrent channels with viewers hopping between them — which makes
 //! channel-switch latency a first-class metric.  [`SessionManager`] hosts
-//! `N` independent [`StreamingSystem`]s (one per channel), shards their
-//! period stepping across the persistent [`WorkerPool`], and drives a
-//! deterministic viewer-zapping workload:
+//! `N` independent [`StreamingSystem`]s (one per channel) on the persistent
+//! [`WorkerPool`] and drives a deterministic viewer-zapping workload
+//! described by a [`ZapSchedule`] (uniform, Zipf-skewed or flash-crowd —
+//! see [`crate::zap`]).
 //!
-//! * every period, a configured fraction of each channel's viewers *zap*:
-//!   they leave their channel's overlay and join another channel, attaching
-//!   to `M` random peers there and following those neighbours' playback
-//!   steps — exactly the paper's churn-join rule, but correlated across
-//!   channels so total viewership is conserved;
-//! * each arrival is tracked until its playback starts (`Q` consecutive
-//!   segments); the elapsed time is that viewer's **zap latency**,
-//!   aggregated per channel and across channels through
-//!   [`fss_metrics::ZapSummary`].
+//! # Stepping modes
 //!
-//! # Determinism
+//! * [`SteppingMode::Barrier`] — the classic lockstep: every period, zap
+//!   batches are applied, then **all** channels step one period together on
+//!   the pool.  One global barrier per period.
+//! * [`SteppingMode::Pipelined`] — channels advance independently: each
+//!   channel runs ahead as a pool job until it hits either its next *sync
+//!   point* (a period boundary where a zap batch names it) or the
+//!   `run_ahead` bound (at most `K` periods ahead of the slowest channel).
+//!   A zap batch synchronises **only its two endpoint channels**; channels
+//!   not named by any nearby batch never wait.
 //!
-//! All randomness (who zaps, where to, which neighbours) is drawn from one
-//! seeded RNG on the submitting thread; the pool only executes the
-//! per-channel `step()` calls, whose state sets are disjoint.  The resulting
-//! [`RuntimeReport`] is therefore byte-identical for every pool size — a
-//! property the test-suite asserts at 1/2/4/7 workers.
+//! Both modes produce **byte-identical** [`RuntimeReport`]s, for every pool
+//! size — the test-suite asserts it at 1/2/4/7 workers under churn and
+//! flash-crowd storms.  The equivalence rests on three invariants:
+//!
+//! 1. **state-independent planning** — the schedule decides *when* and
+//!    *between which channels* viewers move from its own seed and
+//!    population model alone (see [`crate::zap`]), so the plan exists
+//!    before any channel steps;
+//! 2. **per-batch RNG streams** — *which* viewers move and *where* they
+//!    attach is resolved against live channel state with an RNG seeded
+//!    from the batch's global index, so resolution reads only the two
+//!    endpoint channels at their shared boundary;
+//! 3. **channel-local everything else** — stepping, churn, membership
+//!    repair and zap-latency harvesting touch one channel each, so their
+//!    interleaving across channels is unobservable.
+//!
+//! # Zap latency
+//!
+//! Each arrival is tracked until its playback starts (`Q` consecutive
+//! segments); the elapsed time is that viewer's **zap latency**, harvested
+//! channel-locally after every period step and aggregated through
+//! [`fss_metrics::ZapSummary`] (per channel and cross-channel) plus
+//! [`fss_metrics::ZapLoadSummary`] (the arrival skew across channels).
+//!
+//! [`StreamingSystem`]: fss_gossip::StreamingSystem
 
 use crate::pool::WorkerPool;
+use crate::zap::{ZapBatch, ZapSchedule, ZapWorkload};
 use fss_gossip::{GossipConfig, SegmentScheduler, StreamingSystem, TrafficCounters};
-use fss_metrics::ZapSummary;
-use fss_overlay::{BandwidthConfig, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
+use fss_metrics::{ZapLoadSummary, ZapSummary};
+use fss_overlay::{BandwidthConfig, ChurnModel, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
 use fss_sim::exec::DisjointSlots;
 use fss_trace::{GeneratorConfig, TraceGenerator};
 use rand::rngs::SmallRng;
@@ -45,7 +68,8 @@ pub struct SessionConfig {
     pub channels: usize,
     /// Overlay size of each channel at start-up.
     pub viewers_per_channel: usize,
-    /// Fraction of each channel's viewers zapping away per period.
+    /// Fraction of each channel's viewers zapping away per period (the
+    /// background rate of the default workload).
     pub zap_fraction: f64,
     /// Neighbours a zapping viewer attaches to in its target channel
     /// (the paper's `M`).
@@ -96,10 +120,44 @@ impl SessionConfig {
     }
 }
 
-/// One hosted channel: a streaming system plus its zap bookkeeping.
+/// How the manager advances its channels through the measured periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteppingMode {
+    /// Lockstep: one global barrier per period (all channels step period
+    /// `P` before any channel starts period `P + 1`).
+    Barrier,
+    /// Channels advance independently, pausing only at their own zap-batch
+    /// boundaries and at the run-ahead bound.
+    Pipelined {
+        /// Maximum periods any channel may run ahead of the slowest one
+        /// (clamped to at least 1).  Bounds the live state divergence
+        /// between channels without affecting any result.
+        run_ahead: u64,
+    },
+}
+
+impl SteppingMode {
+    /// The pipelined mode with the default 8-period run-ahead bound.
+    pub fn pipelined() -> Self {
+        SteppingMode::Pipelined { run_ahead: 8 }
+    }
+}
+
+/// A zap arrival still waiting for playback to start.
+#[derive(Debug, Clone, Copy)]
+struct PendingZap {
+    viewer: PeerId,
+    joined_period: u64,
+}
+
+/// One hosted channel: a streaming system plus its zap bookkeeping.  All
+/// fields are channel-local, so a pool chunk may advance one channel (steps
+/// plus harvesting) without observing any other.
 struct Channel {
     system: StreamingSystem,
     source: PeerId,
+    /// Periods this channel has completed (its position in the pipeline).
+    period: u64,
     zaps_in: usize,
     zaps_out: usize,
     /// Startup delays (seconds) of completed zap arrivals into this channel.
@@ -108,13 +166,48 @@ struct Channel {
     /// started — they never completed and never will, so they stay in the
     /// never-reached-playback side of the zap statistics.
     zaps_abandoned: usize,
+    /// Arrivals whose playback has not started yet.
+    pending: Vec<PendingZap>,
 }
 
-/// A zap arrival still waiting for playback to start.
-struct PendingZap {
-    channel: usize,
-    viewer: PeerId,
-    joined_period: u64,
+impl Channel {
+    /// Advances the channel to `target` periods, harvesting zap latencies
+    /// after every step.  Channel-local: safe to run as a pool chunk.
+    fn advance_to(&mut self, target: u64, tau: f64) {
+        while self.period < target {
+            self.system.step();
+            self.period += 1;
+            self.harvest(tau);
+        }
+    }
+
+    /// Completes pending zaps whose playback has started and retires
+    /// arrivals that departed again (zap or churn) before starting.
+    fn harvest(&mut self, tau: f64) {
+        let now = self.period;
+        let system = &self.system;
+        let latencies = &mut self.arrival_latencies;
+        let abandoned = &mut self.zaps_abandoned;
+        self.pending.retain(|zap| {
+            if !system.overlay().graph().is_active(zap.viewer) {
+                *abandoned += 1;
+                return false;
+            }
+            if system.peer(zap.viewer).playback().has_started() {
+                latencies.push((now - zap.joined_period) as f64 * tau);
+                return false;
+            }
+            true
+        });
+    }
+}
+
+/// A batch emitted by the schedule, tagged with its global emission index
+/// (the seed of its resolution RNG stream).
+#[derive(Debug, Clone, Copy)]
+struct PlannedBatch {
+    batch: ZapBatch,
+    index: u64,
 }
 
 /// Per-channel slice of the [`RuntimeReport`].
@@ -138,16 +231,22 @@ pub struct ChannelReport {
 
 /// Aggregated outcome of a multi-channel zapping run.
 ///
-/// Deterministic: identical bytes for every worker-pool size (asserted by
-/// the test-suite), so reports can be diffed across hardware.
+/// Deterministic: identical bytes for every worker-pool size **and** for
+/// barrier versus pipelined stepping (asserted by the test-suite), so
+/// reports can be diffed across hardware and execution strategies.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RuntimeReport {
     /// Periods driven through every channel.
     pub periods: u64,
+    /// Label of the zap workload that drove the run (e.g. `"zipf(1.2)"`).
+    pub workload: String,
     /// Per-channel breakdown, in channel order.
     pub channels: Vec<ChannelReport>,
     /// Zap latency aggregated across all channels.
     pub cross_channel_zaps: ZapSummary,
+    /// How zap arrivals are distributed over channels (the popularity skew
+    /// actually realised by the workload).
+    pub zap_load: ZapLoadSummary,
 }
 
 impl RuntimeReport {
@@ -157,22 +256,31 @@ impl RuntimeReport {
     }
 }
 
-/// Hosts `N` concurrent channels sharded over a persistent [`WorkerPool`]
-/// and drives the viewer-zapping workload.  See the module docs.
+/// Hosts `N` concurrent channels on a persistent [`WorkerPool`] and drives
+/// a schedule-defined viewer-zapping workload, in barrier or pipelined
+/// stepping mode.  See the module docs.
 pub struct SessionManager {
     config: SessionConfig,
     pool: Arc<WorkerPool>,
     channels: Vec<Channel>,
-    /// The single RNG behind every zap decision (submitting thread only).
-    rng: SmallRng,
+    schedule: Box<dyn ZapSchedule>,
+    /// Set once the schedule has been consulted; workload swaps are only
+    /// allowed before that.
+    schedule_consulted: bool,
+    mode: SteppingMode,
     /// Bandwidth distribution for zap arrivals (same as churn joiners).
     bandwidth: BandwidthConfig,
+    /// Completed session periods (every channel has reached this).
     period: u64,
-    pending: Vec<PendingZap>,
+    /// Global zap-batch emission counter (seeds per-batch RNG streams).
+    batch_counter: u64,
 }
 
 impl SessionManager {
-    /// Builds the channels and starts each channel's initial source.
+    /// Builds the channels and starts each channel's initial source, with
+    /// the uniform zap workload and barrier stepping installed by default
+    /// (see [`set_workload`](Self::set_workload) /
+    /// [`set_mode`](Self::set_mode)).
     ///
     /// `scheduler` instantiates one scheduling policy per channel (e.g.
     /// `|| Box::new(FastSwitchScheduler::new())`).
@@ -188,10 +296,7 @@ impl SessionManager {
             .expect("valid multi-channel session configuration");
         let channels = (0..config.channels)
             .map(|c| {
-                // Golden-ratio stride keeps per-channel seed streams apart.
-                let channel_seed = config
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+                let channel_seed = Self::channel_seed(config.seed, c);
                 let trace = TraceGenerator::new(GeneratorConfig::sized(
                     config.viewers_per_channel,
                     channel_seed,
@@ -213,22 +318,36 @@ impl SessionManager {
                 Channel {
                     system,
                     source,
+                    period: 0,
                     zaps_in: 0,
                     zaps_out: 0,
                     arrival_latencies: Vec::new(),
                     zaps_abandoned: 0,
+                    pending: Vec::new(),
                 }
             })
             .collect();
         SessionManager {
-            rng: SmallRng::seed_from_u64(config.seed ^ 0x5A50_5EED),
+            schedule: ZapWorkload::Uniform.build(
+                config.channels,
+                config.viewers_per_channel,
+                config.zap_fraction,
+                config.seed,
+            ),
+            schedule_consulted: false,
+            mode: SteppingMode::Barrier,
             bandwidth: BandwidthConfig::default(),
             config,
             pool,
             channels,
             period: 0,
-            pending: Vec::new(),
+            batch_counter: 0,
         }
+    }
+
+    /// Golden-ratio stride keeps per-channel seed streams apart.
+    fn channel_seed(seed: u64, channel: usize) -> u64 {
+        seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(channel as u64 + 1))
     }
 
     /// The session configuration.
@@ -251,6 +370,56 @@ impl SessionManager {
         self.period
     }
 
+    /// The current stepping mode.
+    pub fn mode(&self) -> SteppingMode {
+        self.mode
+    }
+
+    /// Selects barrier or pipelined stepping.  May be changed at any time;
+    /// the mode cannot influence any result (asserted by the test-suite),
+    /// only the execution schedule.
+    pub fn set_mode(&mut self, mode: SteppingMode) {
+        self.mode = mode;
+    }
+
+    /// Replaces the zap workload with one of the built-in shapes.
+    ///
+    /// # Panics
+    /// Panics if measured periods have already consulted the old schedule.
+    pub fn set_workload(&mut self, workload: ZapWorkload) {
+        self.set_zap_schedule(workload.build(
+            self.config.channels,
+            self.config.viewers_per_channel,
+            self.config.zap_fraction,
+            self.config.seed,
+        ));
+    }
+
+    /// Replaces the zap schedule with an arbitrary implementation.
+    ///
+    /// # Panics
+    /// Panics if measured periods have already consulted the old schedule.
+    pub fn set_zap_schedule(&mut self, schedule: Box<dyn ZapSchedule>) {
+        assert!(
+            !self.schedule_consulted,
+            "the zap schedule must be installed before any measured period runs"
+        );
+        self.schedule = schedule;
+    }
+
+    /// Enables per-channel churn (paper-default rates), each channel with
+    /// its own deterministic stream derived from `salt`.  Churn is
+    /// channel-local, so it cannot affect barrier/pipelined equivalence.
+    pub fn enable_channel_churn(&mut self, salt: u64) {
+        let seed = self.config.seed;
+        for (index, channel) in self.channels.iter_mut().enumerate() {
+            let churn_seed = Self::channel_seed(seed, index) ^ salt ^ 0x0C4_112E;
+            channel
+                .system
+                .set_churn(ChurnModel::paper_default(churn_seed));
+        }
+    }
+
     /// Read access to one channel's streaming system.
     pub fn channel_system(&self, channel: usize) -> &StreamingSystem {
         &self.channels[channel].system
@@ -266,28 +435,41 @@ impl SessionManager {
     }
 
     /// Runs `n` warm-up periods with the zapping workload disabled, letting
-    /// every channel reach steady playback first.
+    /// every channel reach steady playback first.  Channels are fully
+    /// independent here, so they advance in one unsynchronised pool job.
     pub fn warmup(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step_channels();
-            self.period += 1;
+        if n == 0 {
+            return;
         }
+        let tau = self.config.gossip.tau_secs;
+        let target = self.period + n;
+        let slots = DisjointSlots::new(&mut self.channels[..]);
+        self.pool.execute(slots.len(), &|chunk: usize| {
+            // SAFETY: chunk indices are unique per execute() run, so each
+            // channel is advanced by exactly one worker.
+            let channel = unsafe { slots.slot(chunk) };
+            channel.advance_to(target, tau);
+        });
+        self.period = target;
     }
 
-    /// Runs one period: zap events, then all channels step in parallel on
-    /// the pool, then zap-latency harvesting.
+    /// Runs one measured period (zap batches, stepping, harvesting).
     pub fn step(&mut self) {
-        self.apply_zaps();
-        self.step_channels();
-        self.period += 1;
-        self.harvest_zap_latencies();
+        self.run_periods(1);
     }
 
-    /// Runs `n` full periods.
+    /// Runs `n` measured periods in the configured stepping mode.
     pub fn run_periods(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        if n == 0 {
+            return;
         }
+        let horizon = self.period + n;
+        let plan = self.plan_batches(horizon);
+        match self.mode {
+            SteppingMode::Barrier => self.run_barrier(horizon, &plan),
+            SteppingMode::Pipelined { run_ahead } => self.run_pipelined(horizon, run_ahead, &plan),
+        }
+        self.period = horizon;
     }
 
     /// Builds the aggregated report.
@@ -301,7 +483,7 @@ impl SessionManager {
                 // playback: still waiting, or departed again first
                 // (abandoned) — so `zaps_in == zap_latency.zaps()` and the
                 // completion rate honestly penalizes failed zaps.
-                let waiting = self.pending.iter().filter(|z| z.channel == index).count();
+                let unresolved = channel.pending.len() + channel.zaps_abandoned;
                 ChannelReport {
                     channel: index,
                     viewers: channel.system.overlay().active_count(),
@@ -309,23 +491,23 @@ impl SessionManager {
                     traffic: channel.system.report().traffic_total,
                     zaps_in: channel.zaps_in,
                     zaps_out: channel.zaps_out,
-                    zap_latency: ZapSummary::from_latencies(
-                        &channel.arrival_latencies,
-                        waiting + channel.zaps_abandoned,
-                    ),
+                    zap_latency: ZapSummary::from_latencies(&channel.arrival_latencies, unresolved),
                 }
             })
             .collect();
         let mut all: Vec<f64> = Vec::new();
-        let mut abandoned = 0;
+        let mut unresolved = 0;
         for channel in &self.channels {
             all.extend_from_slice(&channel.arrival_latencies);
-            abandoned += channel.zaps_abandoned;
+            unresolved += channel.pending.len() + channel.zaps_abandoned;
         }
+        let arrivals: Vec<usize> = self.channels.iter().map(|c| c.zaps_in).collect();
         RuntimeReport {
             periods: self.period,
+            workload: self.schedule.name(),
             channels,
-            cross_channel_zaps: ZapSummary::from_latencies(&all, self.pending.len() + abandoned),
+            cross_channel_zaps: ZapSummary::from_latencies(&all, unresolved),
+            zap_load: ZapLoadSummary::from_arrivals(&arrivals),
         }
     }
 
@@ -333,112 +515,269 @@ impl SessionManager {
     // internals
     // ------------------------------------------------------------------
 
-    /// Steps every channel once, sharded across the pool (one chunk per
-    /// channel; chunk-pinned state keeps this deterministic for any pool
-    /// size).
-    fn step_channels(&mut self) {
-        let slots = DisjointSlots::new(&mut self.channels[..]);
-        self.pool.execute(slots.len(), &|chunk: usize| {
-            // SAFETY: chunk indices are unique per execute() run, so each
-            // channel is stepped by exactly one worker.
-            let channel = unsafe { slots.slot(chunk) };
-            channel.system.step();
-        });
-    }
-
-    /// Moves the period's zapping viewers between channels.  Entirely
-    /// sequential and RNG-driven on the submitting thread.
-    fn apply_zaps(&mut self) {
-        let channel_count = self.channels.len();
-        // Plan departures first so a viewer cannot be picked twice and
-        // freshly arrived viewers are not immediately re-zapped this period.
-        let mut moves: Vec<(usize, usize)> = Vec::new(); // (from, to)
-        for from in 0..channel_count {
-            let channel = &mut self.channels[from];
-            let eligible: Vec<PeerId> = channel
-                .system
-                .overlay()
-                .active_peers()
-                .filter(|&p| p != channel.source)
-                .collect();
-            let zap_count = ((eligible.len() as f64) * self.config.zap_fraction).round() as usize;
-            let zappers: Vec<PeerId> = eligible
-                .choose_multiple(&mut self.rng, zap_count.min(eligible.len()))
-                .copied()
-                .collect();
-            for viewer in zappers {
-                // Uniform target among the other channels.
-                let offset = self.rng.gen_range(1..channel_count);
-                let to = (from + offset) % channel_count;
-                self.channels[from]
-                    .system
-                    .depart_peer(viewer)
-                    .expect("zapping viewer is active");
-                self.channels[from].zaps_out += 1;
-                moves.push((from, to));
+    /// Asks the schedule for every batch in `[self.period, horizon)`,
+    /// tagging each with its global emission index.
+    fn plan_batches(&mut self, horizon: u64) -> Vec<PlannedBatch> {
+        self.schedule_consulted = true;
+        let mut plan = Vec::new();
+        let mut raw = Vec::new();
+        for period in self.period..horizon {
+            raw.clear();
+            self.schedule.batches_at(period, &mut raw);
+            for batch in &raw {
+                assert!(
+                    batch.period == period
+                        && batch.from != batch.to
+                        && batch.from < self.channels.len()
+                        && batch.to < self.channels.len()
+                        && batch.viewers > 0,
+                    "schedule emitted an invalid batch {batch:?} at period {period}"
+                );
+                plan.push(PlannedBatch {
+                    batch: *batch,
+                    index: self.batch_counter,
+                });
+                self.batch_counter += 1;
             }
         }
+        plan
+    }
+
+    /// Lockstep execution: apply boundary batches, then step every channel
+    /// one period on the pool; repeat.
+    fn run_barrier(&mut self, horizon: u64, plan: &[PlannedBatch]) {
+        let tau = self.config.gossip.tau_secs;
+        let mut cursor = 0;
+        for period in self.period..horizon {
+            while cursor < plan.len() && plan[cursor].batch.period == period {
+                self.apply_batch(plan[cursor]);
+                cursor += 1;
+            }
+            let slots = DisjointSlots::new(&mut self.channels[..]);
+            self.pool.execute(slots.len(), &|chunk: usize| {
+                // SAFETY: chunk indices are unique per execute() run.
+                let channel = unsafe { slots.slot(chunk) };
+                let target = channel.period + 1;
+                channel.advance_to(target, tau);
+            });
+        }
+    }
+
+    /// Dependency-tracked pipeline: each round, every channel advances on
+    /// the pool to the nearest of (its next batch boundary, the run-ahead
+    /// bound, the horizon); then every batch whose two endpoints are parked
+    /// at its boundary is applied.  No global barrier — a batch
+    /// synchronises exactly its two channels.
+    fn run_pipelined(&mut self, horizon: u64, run_ahead: u64, plan: &[PlannedBatch]) {
+        let run_ahead = run_ahead.max(1);
+        let tau = self.config.gossip.tau_secs;
+        let n = self.channels.len();
+
+        // Per-channel ordered involvement lists over the plan.
+        let mut involvement: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, planned) in plan.iter().enumerate() {
+            involvement[planned.batch.from].push(i);
+            involvement[planned.batch.to].push(i);
+        }
+        let mut cursor = vec![0usize; n];
+        let mut applied = vec![false; plan.len()];
+
+        /// First unapplied batch involving channel `c`, advancing the
+        /// channel's cursor past batches its partner already applied.
+        fn next_unapplied(
+            involvement: &[Vec<usize>],
+            applied: &[bool],
+            cursor: &mut [usize],
+            c: usize,
+        ) -> Option<usize> {
+            while let Some(&i) = involvement[c].get(cursor[c]) {
+                if applied[i] {
+                    cursor[c] += 1;
+                } else {
+                    return Some(i);
+                }
+            }
+            None
+        }
+
+        loop {
+            let min_period = self
+                .channels
+                .iter()
+                .map(|c| c.period)
+                .min()
+                .expect("at least one channel");
+            if min_period == horizon {
+                break;
+            }
+
+            // 1. Per-channel advance limits: next sync point, run-ahead
+            //    bound, horizon — whichever is nearest.
+            let cap = min_period.saturating_add(run_ahead).min(horizon);
+            let limits: Vec<u64> = (0..n)
+                .map(|c| {
+                    let sync = next_unapplied(&involvement, &applied, &mut cursor, c)
+                        .map_or(horizon, |i| plan[i].batch.period);
+                    sync.min(cap).max(self.channels[c].period)
+                })
+                .collect();
+
+            // 2. Advance the channels that can move, concurrently.  The
+            //    dispatch is compacted to those channels only, so a round
+            //    that unblocks a single straggler runs it in-line instead
+            //    of waking the whole pool.
+            let advancing: Vec<usize> = (0..n)
+                .filter(|&c| limits[c] > self.channels[c].period)
+                .collect();
+            let advanced = !advancing.is_empty();
+            if advanced {
+                let limits = &limits[..];
+                let advancing = &advancing[..];
+                let slots = DisjointSlots::new(&mut self.channels[..]);
+                self.pool.execute(advancing.len(), &|chunk: usize| {
+                    let c = advancing[chunk];
+                    // SAFETY: the advancing list holds distinct channel
+                    // indices, so each slot is borrowed by exactly one
+                    // chunk.
+                    let channel = unsafe { slots.slot(c) };
+                    channel.advance_to(limits[c], tau);
+                });
+            }
+
+            // 3. Apply every batch whose endpoints are both parked at its
+            //    boundary with it as their next batch, to fixpoint (one
+            //    application can unblock the next at the same boundary).
+            let mut applied_any = false;
+            loop {
+                let mut progressed = false;
+                for c in 0..n {
+                    while let Some(i) = next_unapplied(&involvement, &applied, &mut cursor, c) {
+                        let planned = plan[i];
+                        let (from, to) = (planned.batch.from, planned.batch.to);
+                        let parked = self.channels[from].period == planned.batch.period
+                            && self.channels[to].period == planned.batch.period;
+                        if !parked
+                            || next_unapplied(&involvement, &applied, &mut cursor, from) != Some(i)
+                            || next_unapplied(&involvement, &applied, &mut cursor, to) != Some(i)
+                        {
+                            break;
+                        }
+                        self.apply_batch(planned);
+                        applied[i] = true;
+                        progressed = true;
+                        applied_any = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            assert!(
+                advanced || applied_any,
+                "pipelined scheduler stalled before the horizon (min period \
+                 {min_period} of {horizon})"
+            );
+        }
+    }
+
+    /// Resolves and applies one zap batch: picks the concrete viewers from
+    /// the source channel, departs them (one batched membership repair),
+    /// admits them into the target channel (ditto) and registers their
+    /// pending-zap tracking.  All randomness comes from the batch's own RNG
+    /// stream, so the outcome depends only on the two endpoint channels'
+    /// states at the shared boundary.
+    fn apply_batch(&mut self, planned: PlannedBatch) {
+        let ZapBatch {
+            period,
+            from,
+            to,
+            viewers,
+        } = planned.batch;
+        let zap_degree = self.config.zap_degree;
+        let bandwidth = self.bandwidth;
+        let mut rng = SmallRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(planned.index + 1))
+                ^ 0x0BA7_0CAD,
+        );
+        let (origin, target) = pair_mut(&mut self.channels, from, to);
+
+        // Departures: any active viewer except the source and same-boundary
+        // arrivals (a viewer cannot zap twice at one boundary).
+        let eligible: Vec<PeerId> = origin
+            .system
+            .overlay()
+            .active_peers()
+            .filter(|&p| p != origin.source)
+            .filter(|&p| {
+                !origin
+                    .pending
+                    .iter()
+                    .any(|zap| zap.viewer == p && zap.joined_period == period)
+            })
+            .collect();
+        let movers: Vec<PeerId> = eligible
+            .choose_multiple(&mut rng, viewers.min(eligible.len()))
+            .copied()
+            .collect();
+        if movers.is_empty() {
+            return;
+        }
+        origin
+            .system
+            .depart_batch(&movers)
+            .expect("zapping viewers are active non-sources");
+        origin.zaps_out += movers.len();
 
         // Arrivals: attach to `zap_degree` random peers of the target
         // channel and follow their playback steps (the churn-join rule).
-        for (_, to) in moves {
-            let candidates: Vec<PeerId> =
-                self.channels[to].system.overlay().active_peers().collect();
-            let degree = self.config.zap_degree.min(candidates.len());
-            let neighbours: Vec<PeerId> = candidates
-                .choose_multiple(&mut self.rng, degree)
-                .copied()
-                .collect();
-            let attrs = PeerAttrs {
-                ping_ms: 80.0 * self.rng.gen_range(0.5..2.0),
-                bandwidth: self.bandwidth.sample_peer(&mut self.rng),
-            };
-            let viewer = self.channels[to]
-                .system
-                .admit_peer(attrs, &neighbours)
-                .expect("zap arrival joins an active channel");
-            self.channels[to].zaps_in += 1;
-            self.pending.push(PendingZap {
-                channel: to,
+        let candidates: Vec<PeerId> = target.system.overlay().active_peers().collect();
+        let degree = zap_degree.min(candidates.len());
+        let arrivals: Vec<(PeerAttrs, Vec<PeerId>)> = movers
+            .iter()
+            .map(|_| {
+                let neighbours: Vec<PeerId> = candidates
+                    .choose_multiple(&mut rng, degree)
+                    .copied()
+                    .collect();
+                let attrs = PeerAttrs {
+                    ping_ms: 80.0 * rng.gen_range(0.5..2.0),
+                    bandwidth: bandwidth.sample_peer(&mut rng),
+                };
+                (attrs, neighbours)
+            })
+            .collect();
+        let ids = target
+            .system
+            .admit_batch(&arrivals)
+            .expect("zap arrivals join an active channel");
+        target.zaps_in += ids.len();
+        for viewer in ids {
+            target.pending.push(PendingZap {
                 viewer,
-                joined_period: self.period,
+                joined_period: period,
             });
         }
-
-        // One repair pass per channel heals the holes departures left.
-        for channel in &mut self.channels {
-            channel.system.repair_membership();
-        }
     }
+}
 
-    /// Completes pending zaps whose playback has started.
-    fn harvest_zap_latencies(&mut self) {
-        let tau = self.config.gossip.tau_secs;
-        let now = self.period;
-        let channels = &mut self.channels;
-        self.pending.retain(|zap| {
-            let channel = &mut channels[zap.channel];
-            // A zapped-in viewer may itself zap away (or churn out) before
-            // starting playback: that zap can never complete, so it moves
-            // to the abandoned count (still part of the never-reached-
-            // playback statistics).
-            if !channel.system.overlay().graph().is_active(zap.viewer) {
-                channel.zaps_abandoned += 1;
-                return false;
-            }
-            if channel.system.peer(zap.viewer).playback().has_started() {
-                let latency = (now - zap.joined_period) as f64 * tau;
-                channel.arrival_latencies.push(latency);
-                return false;
-            }
-            true
-        });
+/// Distinct mutable borrows of two channels.
+fn pair_mut(channels: &mut [Channel], a: usize, b: usize) -> (&mut Channel, &mut Channel) {
+    assert_ne!(a, b, "a zap batch needs two distinct channels");
+    if a < b {
+        let (lo, hi) = channels.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = channels.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::zap::{CrowdZap, Storm};
     use fss_core::FastSwitchScheduler;
 
     fn manager(workers: usize, channels: usize, seed: u64) -> SessionManager {
@@ -461,6 +800,7 @@ mod tests {
 
         let report = m.report();
         assert_eq!(report.channels.len(), 4);
+        assert_eq!(report.workload, "uniform");
         assert!(report.total_zaps() > 0, "no zaps happened");
         assert!(
             report.cross_channel_zaps.completed > 0,
@@ -481,6 +821,7 @@ mod tests {
             );
         }
         assert_eq!(report.total_zaps(), zaps_in);
+        assert_eq!(report.zap_load.total_arrivals, zaps_in);
         // Every channel keeps streaming throughout.
         for c in &report.channels {
             assert_eq!(c.periods, 70);
@@ -503,6 +844,75 @@ mod tests {
         }
     }
 
+    /// The tentpole invariant: pipelined stepping (any run-ahead bound, any
+    /// pool size) produces a byte-identical report to barrier stepping,
+    /// under per-channel churn AND a Zipf workload with flash-crowd storms.
+    #[test]
+    fn pipelined_matches_barrier_under_churn_and_storms() {
+        let run = |workers: usize, mode: SteppingMode| {
+            let mut m = manager(workers, 5, 13);
+            m.set_zap_schedule(Box::new(CrowdZap::zipf(5, 40, 0.03, 1.2, 13).with_storms(
+                vec![
+                    Storm {
+                        at: 30,
+                        target: 2,
+                        size: 25,
+                    },
+                    Storm {
+                        at: 45,
+                        target: 0,
+                        size: 30,
+                    },
+                ],
+            )));
+            m.enable_channel_churn(5);
+            m.set_mode(mode);
+            m.warmup(25);
+            m.run_periods(35);
+            m.report()
+        };
+        let reference = run(1, SteppingMode::Barrier);
+        assert!(reference.total_zaps() > 0);
+        assert!(reference.cross_channel_zaps.completed > 0);
+        for workers in [1, 2, 4, 7] {
+            for run_ahead in [1, 4, 8] {
+                assert_eq!(
+                    run(workers, SteppingMode::Pipelined { run_ahead }),
+                    reference,
+                    "workers = {workers}, run_ahead = {run_ahead}"
+                );
+            }
+            assert_eq!(
+                run(workers, SteppingMode::Barrier),
+                reference,
+                "barrier, workers = {workers}"
+            );
+        }
+    }
+
+    /// A storm shows up as arrival skew: the target channel dominates.
+    #[test]
+    fn flash_crowd_concentrates_arrivals() {
+        let mut m = manager(2, 4, 17);
+        m.set_workload(ZapWorkload::FlashCrowd {
+            target: 1,
+            at: 40,
+            size: 50,
+        });
+        m.warmup(30);
+        m.run_periods(30);
+        let report = m.report();
+        assert_eq!(report.workload, "uniform+storms");
+        let busiest = &report.channels[report.zap_load.busiest_channel];
+        assert_eq!(busiest.channel, 1, "the storm target must be busiest");
+        assert!(
+            report.zap_load.busiest_share > 0.4,
+            "storm share too small: {:?}",
+            report.zap_load
+        );
+        assert!(report.zap_load.gini > 0.15);
+    }
+
     #[test]
     fn pool_reuse_across_sessions_leaks_no_state() {
         let pool = Arc::new(WorkerPool::new(3));
@@ -514,6 +924,7 @@ mod tests {
             let mut m = SessionManager::new(config, Arc::clone(pool), || {
                 Box::new(FastSwitchScheduler::new())
             });
+            m.set_mode(SteppingMode::pipelined());
             m.warmup(20);
             m.run_periods(25);
             m.report()
@@ -531,6 +942,14 @@ mod tests {
     #[should_panic(expected = "at least 2 channels")]
     fn single_channel_session_panics() {
         let _ = manager(1, 1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any measured period")]
+    fn workload_swap_after_measuring_panics() {
+        let mut m = manager(1, 2, 3);
+        m.run_periods(1);
+        m.set_workload(ZapWorkload::Zipf { alpha: 1.0 });
     }
 
     #[test]

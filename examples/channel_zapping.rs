@@ -54,5 +54,15 @@ fn main() {
         z.max_startup_secs,
         z.completion_rate() * 100.0
     );
-    println!("(deterministic: rerunning on any pool size reproduces this report byte for byte)");
+    println!(
+        "zap load: workload {:?}, busiest channel {} with {:.0}% of arrivals, gini {:.2}",
+        report.workload,
+        report.zap_load.busiest_channel,
+        report.zap_load.busiest_share * 100.0,
+        report.zap_load.gini
+    );
+    println!(
+        "(deterministic: rerunning on any pool size — or in barrier instead of pipelined \
+         stepping — reproduces this report byte for byte)"
+    );
 }

@@ -17,7 +17,8 @@
 //! * [`metrics`] — metric aggregation (switch times, reduction ratio,
 //!   communication overhead, ratio tracks, zap latencies),
 //! * [`runtime`] — the persistent deterministic worker pool and the
-//!   multi-channel session manager (channel-zapping workloads), and
+//!   multi-channel session manager: barrier or pipelined stepping with
+//!   pluggable zap workloads (uniform / Zipf-skewed / flash-crowd), and
 //! * [`experiments`] — the scenario runner and the per-figure harness.
 //!
 //! # Quick start
@@ -60,7 +61,9 @@ pub mod prelude {
     };
     pub use fss_metrics::{reduction_ratio, SwitchSummary, Table, ZapSummary};
     pub use fss_overlay::{ChurnModel, Overlay, OverlayBuilder, OverlayConfig, PeerId};
-    pub use fss_runtime::{RuntimeReport, SessionConfig, SessionManager, WorkerPool};
+    pub use fss_runtime::{
+        RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool, ZapWorkload,
+    };
     pub use fss_trace::{GeneratorConfig, TraceCatalog, TraceGenerator};
 }
 
