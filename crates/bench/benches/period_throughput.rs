@@ -12,10 +12,14 @@
 //!   candidate intersection;
 //! * `optimized_period_1k_pool*` (with `--features parallel`) — the same
 //!   hot path with the scheduling sweep dispatched onto the persistent
-//!   `fss-runtime` worker pool (no thread spawns per period).
+//!   `fss-runtime` worker pool (no thread spawns per period);
+//! * `mem/*` — the per-peer footprint meter on the same steady system:
+//!   prints steady-state bytes/peer (compact vs legacy layout) and times
+//!   one full meter sweep.
 //!
-//! The measured periods/second ratio is recorded in `BENCH_period.json`
-//! (acceptance target: ≥ 2×).
+//! The measured periods/second ratio and the `mem/*` bytes/peer figures
+//! are recorded in `BENCH_period.json` (acceptance targets: ≥ 2× speedup,
+//! ≥ 40 % bytes/peer reduction).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fss_core::FastSwitchScheduler;
@@ -72,5 +76,29 @@ fn bench_period_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_period_throughput);
+/// The `mem/*` lane: steady-state bytes/peer (the numbers recorded in
+/// `BENCH_period.json`) and the cost of one meter sweep over all peers.
+fn bench_memory_footprint(c: &mut Criterion) {
+    let sys = steady_system(1);
+    let mem = sys.report().mem;
+    println!(
+        "mem/bytes_per_peer_1k: {:.0} B/peer (ring {:.0} + window {:.0} + seqs {:.0} + inline); \
+         legacy layout {:.0} B/peer; reduction {:.1}%",
+        mem.bytes_per_peer(),
+        mem.ring_bytes as f64 / mem.active_peers as f64,
+        mem.window_bytes as f64 / mem.active_peers as f64,
+        mem.seq_bytes as f64 / mem.active_peers as f64,
+        mem.legacy_peer_bytes as f64 / mem.active_peers as f64,
+        100.0 * mem.reduction_vs_legacy()
+    );
+
+    let mut group = c.benchmark_group("mem");
+    group.sample_size(10);
+    group.bench_function("usage_sweep_1k", |b| {
+        b.iter(|| criterion::black_box(sys.memory_usage()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_period_throughput, bench_memory_footprint);
 criterion_main!(benches);

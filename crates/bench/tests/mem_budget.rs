@@ -1,0 +1,71 @@
+//! Memory-budget guard: steady-state bytes/peer must stay within the
+//! documented budget.
+//!
+//! `docs/performance.md` §"Memory model" budgets the per-peer protocol
+//! state (arrival ring + availability window + sequence array + inline
+//! node) of a steady-state 1 000-node system.  This test streams that
+//! system and asserts the meter stays under the budget — so a regression
+//! that fattens per-peer state (a wider ring entry, a window that stops
+//! compacting, an over-allocating growth path) fails the build instead of
+//! silently eroding the million-user headroom.  It also pins the headline
+//! claim of the compact layout: ≥ 40 % below what the same state would
+//! cost in the pre-compaction layout (u64 ring entries, u32 seqs).
+
+use fss_core::FastSwitchScheduler;
+use fss_gossip::{GossipConfig, StreamingSystem};
+use fss_overlay::OverlayBuilder;
+use fss_trace::{GeneratorConfig, TraceGenerator};
+
+/// The documented steady-state budget: average protocol-state bytes per
+/// active peer of a 1k-node system (see docs/performance.md).  Measured at
+/// ~4.6 KB on the compact layout (~9.0 KB on the legacy layout); the
+/// ceiling leaves a small margin for workload variance, not for layout
+/// regressions.
+const BYTES_PER_PEER_BUDGET: f64 = 6.0 * 1024.0;
+
+/// Minimum saving versus the pre-compaction layout (acceptance criterion).
+const MIN_REDUCTION_VS_LEGACY: f64 = 0.40;
+
+#[test]
+fn steady_state_bytes_per_peer_within_budget() {
+    let trace = TraceGenerator::new(GeneratorConfig::sized(1_000, 33)).generate("mem-budget");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.start_initial_source(source);
+    // Long enough for every buffer to fill (evictions running) and every
+    // capacity to reach its steady-state high-water mark.
+    sys.run_periods(100);
+
+    let mem = sys.report().mem;
+    assert_eq!(mem.active_peers, 1_000);
+    let per_peer = mem.bytes_per_peer();
+    println!(
+        "steady-state 1k-node footprint: {per_peer:.0} B/peer \
+         (ring {} B, window {} B, seqs {} B per peer on average; \
+         legacy layout would be {:.0} B/peer, saving {:.1}%)",
+        mem.ring_bytes / 1_000,
+        mem.window_bytes / 1_000,
+        mem.seq_bytes / 1_000,
+        mem.legacy_peer_bytes as f64 / 1_000.0,
+        100.0 * mem.reduction_vs_legacy()
+    );
+    assert!(
+        per_peer <= BYTES_PER_PEER_BUDGET,
+        "steady-state footprint {per_peer:.0} B/peer exceeds the documented \
+         budget of {BYTES_PER_PEER_BUDGET:.0} B/peer ({mem:?})"
+    );
+    assert!(
+        mem.reduction_vs_legacy() >= MIN_REDUCTION_VS_LEGACY,
+        "compact layout saves only {:.1}% vs the legacy layout (≥ {:.0}% required)",
+        100.0 * mem.reduction_vs_legacy(),
+        100.0 * MIN_REDUCTION_VS_LEGACY
+    );
+    // Sanity: the meter is live (components populated, system streaming).
+    assert!(mem.ring_bytes > 0 && mem.window_bytes > 0 && mem.seq_bytes > 0);
+    assert!(sys.report().traffic_total.data_bits > 0);
+}

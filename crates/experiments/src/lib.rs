@@ -7,6 +7,8 @@
 //!   *same* workload,
 //! * [`sweep`] — parallel sweeps over network sizes (chunks on the
 //!   persistent `fss-runtime` worker pool, one simulation per chunk),
+//! * [`memory`] — steady-state bytes/peer measurements and the 50k-peer
+//!   large-population scenario the compact per-peer layout enables,
 //! * [`zapping`] — the multi-channel channel-zapping workload (viewers
 //!   hopping between concurrent streams) and its sweeps: channel count,
 //!   Zipf popularity skew, flash-crowd storm size,
@@ -19,11 +21,16 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod memory;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
 pub mod zapping;
 
+pub use memory::{
+    measure_memory, run_large_population, sweep_memory, LargePopulationReport, MemoryPoint,
+    MemoryScenario, LARGE_POPULATION_NODES,
+};
 pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};
 pub use sweep::{sweep_sizes, sweep_sizes_on, SweepPoint};

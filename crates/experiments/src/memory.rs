@@ -1,0 +1,215 @@
+//! Memory-footprint experiments: bytes/peer at steady state, and the
+//! large-population scenario the compact per-peer layout buys headroom for.
+//!
+//! The ROADMAP's million-user north star is gated on per-viewer state: at
+//! ~10 KB/peer (the pre-compaction layout) a million viewers cost ~10 GB of
+//! buffer state alone; the compact layout (u32 ring offsets, u16 epoch
+//! sequence numbers — see `fss_gossip::buffer`) roughly halves that.  This
+//! module measures it:
+//!
+//! * [`sweep_memory`] — steady-state [`MemSummary`] (bytes/peer, component
+//!   breakdown, saving vs the legacy layout) across population sizes; the
+//!   numbers land in `BENCH_period.json` and `docs/performance.md`, and the
+//!   1k-node point is guarded by `crates/bench/tests/mem_budget.rs`;
+//! * [`run_large_population`] — a single channel at
+//!   [`LARGE_POPULATION_NODES`] (50 000) peers streamed to steady playback:
+//!   an order of magnitude beyond the paper's evaluation sizes, feasible on
+//!   one machine precisely because per-peer state is small and the period
+//!   loop allocates nothing.
+
+use crate::scenario::Algorithm;
+use fss_gossip::{GossipConfig, StreamingSystem};
+use fss_metrics::MemSummary;
+use fss_overlay::{OverlayBuilder, OverlayConfig, PeerId};
+use fss_trace::{GeneratorConfig, TraceGenerator};
+use serde::Serialize;
+
+/// Population of the large-population scenario: 50× the paper's common
+/// 1 000-node configuration, single channel.
+pub const LARGE_POPULATION_NODES: usize = 50_000;
+
+/// Configuration of one steady-state memory measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemoryScenario {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// The scheduling policy (memory is policy-independent, but the run
+    /// must use one).
+    pub algorithm: Algorithm,
+    /// Seed of the synthetic trace / overlay.
+    pub seed: u64,
+    /// Periods streamed before measuring, enough for every buffer to reach
+    /// its steady-state high-water capacities (evictions running).
+    pub warmup_periods: u64,
+}
+
+impl MemoryScenario {
+    /// Defaults: fast-switch policy, 80 warm-up periods (buffers of
+    /// `B = 600` fill within ~60 periods at `p·τ = 10`).
+    pub fn sized(nodes: usize) -> Self {
+        MemoryScenario {
+            nodes,
+            algorithm: Algorithm::Fast,
+            seed: 0x3E3A_0001 ^ nodes as u64,
+            warmup_periods: 80,
+        }
+    }
+}
+
+/// One point of the memory sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemoryPoint {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// The steady-state footprint summary at that size.
+    pub mem: MemSummary,
+}
+
+/// Builds and streams the scenario's system to steady state.
+fn steady_system(scenario: &MemoryScenario) -> StreamingSystem {
+    let trace = TraceGenerator::new(GeneratorConfig::sized(scenario.nodes, scenario.seed))
+        .generate(format!("memory-{}", scenario.nodes));
+    let overlay_config = OverlayConfig {
+        seed: scenario.seed ^ 0x00C4_A11E,
+        ..OverlayConfig::default()
+    };
+    let overlay = OverlayBuilder::new(overlay_config)
+        .expect("valid overlay config")
+        .build(&trace)
+        .expect("overlay construction");
+    let source = overlay.active_peers().next().expect("non-empty overlay");
+    let mut system = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        scenario.algorithm.scheduler(),
+    );
+    system.start_initial_source(source);
+    system.run_periods(scenario.warmup_periods);
+    system
+}
+
+/// Measures one scenario's steady-state per-peer footprint.
+pub fn measure_memory(scenario: &MemoryScenario) -> MemSummary {
+    MemSummary::from_usage(steady_system(scenario).memory_usage())
+}
+
+/// Sweeps the steady-state footprint over population sizes: bytes/peer
+/// should stay essentially flat (per-peer state does not grow with the
+/// system), which is exactly what makes large populations affordable.
+pub fn sweep_memory(sizes: &[usize]) -> Vec<MemoryPoint> {
+    sizes
+        .iter()
+        .map(|&nodes| MemoryPoint {
+            nodes,
+            mem: measure_memory(&MemoryScenario::sized(nodes)),
+        })
+        .collect()
+}
+
+/// Outcome of the large-population run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LargePopulationReport {
+    /// Number of overlay nodes simulated.
+    pub nodes: usize,
+    /// Periods executed.
+    pub periods: u64,
+    /// Fraction of non-source nodes whose playback started.
+    pub playback_started: f64,
+    /// The steady-state footprint summary.
+    pub mem: MemSummary,
+}
+
+/// Runs one single-channel large-population scenario (defaults to
+/// [`LARGE_POPULATION_NODES`] via [`MemoryScenario::sized`]) and reports
+/// playback health next to the footprint: the point is that tens of
+/// thousands of viewers stream fine in one process on the compact layout.
+pub fn run_large_population(scenario: &MemoryScenario) -> LargePopulationReport {
+    let system = steady_system(scenario);
+    let source = system
+        .directory()
+        .sessions()
+        .first()
+        .expect("initial source started")
+        .source_peer;
+    let viewers: Vec<PeerId> = system
+        .overlay()
+        .active_peers()
+        .filter(|&p| p != source)
+        .collect();
+    let started = viewers
+        .iter()
+        .filter(|&&p| system.peer(p).playback().has_started())
+        .count();
+    LargePopulationReport {
+        nodes: scenario.nodes,
+        periods: system.periods(),
+        playback_started: if viewers.is_empty() {
+            0.0
+        } else {
+            started as f64 / viewers.len() as f64
+        },
+        mem: MemSummary::from_usage(system.memory_usage()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_flat_bytes_per_peer() {
+        let points = sweep_memory(&[150, 300]);
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert_eq!(point.mem.active_peers, point.nodes);
+            assert!(point.mem.avg_bytes_per_peer > 0.0);
+            assert!(
+                point.mem.reduction_vs_legacy >= 0.40,
+                "compact layout saves ≥ 40% at {} nodes, got {:.1}%",
+                point.nodes,
+                100.0 * point.mem.reduction_vs_legacy
+            );
+        }
+        // Per-peer state must not grow with the population (allow a small
+        // tolerance for window-span variance between workloads).
+        let (small, large) = (&points[0].mem, &points[1].mem);
+        assert!(
+            large.avg_bytes_per_peer < small.avg_bytes_per_peer * 1.25,
+            "bytes/peer grew with population: {} -> {}",
+            small.avg_bytes_per_peer,
+            large.avg_bytes_per_peer
+        );
+    }
+
+    /// A scaled-down stand-in keeps the scenario's code path covered in the
+    /// default test suite; the full 50k-node run is `--ignored` (it needs a
+    /// few seconds and ~250 MB).
+    #[test]
+    fn large_population_scenario_smoke() {
+        let scenario = MemoryScenario {
+            warmup_periods: 60,
+            ..MemoryScenario::sized(2_000)
+        };
+        let report = run_large_population(&scenario);
+        assert_eq!(report.nodes, 2_000);
+        assert_eq!(report.periods, 60);
+        assert!(
+            report.playback_started > 0.9,
+            "only {:.0}% of viewers started playback",
+            100.0 * report.playback_started
+        );
+        assert!(report.mem.avg_bytes_per_peer > 0.0);
+    }
+
+    #[test]
+    #[ignore = "full-scale run: ~50k peers, a few seconds, ~250 MB"]
+    fn large_population_full_scale() {
+        let report = run_large_population(&MemoryScenario::sized(LARGE_POPULATION_NODES));
+        assert_eq!(report.nodes, LARGE_POPULATION_NODES);
+        assert!(report.playback_started > 0.9);
+        assert!(report.mem.reduction_vs_legacy >= 0.40);
+        // The headroom claim: 50k viewers of buffer state fit comfortably
+        // under a gigabyte.
+        assert!(report.mem.peer_state_bytes < 1 << 30);
+    }
+}

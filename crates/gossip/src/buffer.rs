@@ -14,7 +14,11 @@
 //! second, so membership and positions must be O(1) and steady-state
 //! operation must neither allocate nor rebuild anything per period:
 //!
-//! * `arrivals` is a ring of at most `capacity` ids (allocated once);
+//! * `arrivals` is a ring of at most `capacity` entries (allocated once),
+//!   each a **`u32` offset from the window base** rather than a full 8-byte
+//!   `SegmentId` — offsets are bounded by [`MAX_SPAN_IDS`], and the rare
+//!   events that move the base (window compaction, out-of-order rebases)
+//!   re-anchor the ring in the same O(span) pass;
 //! * availability lives in a **windowed bitmap** (`base` + `words`),
 //!   maintained incrementally on insert/evict.  The window slides with the
 //!   stream: when the head outgrows the words, dead all-zero leading words
@@ -22,23 +26,49 @@
 //!   This bitmap doubles as each peer's advertised buffer map — neighbours
 //!   intersect its words directly instead of probing ids one by one;
 //! * `seqs` stores, for every covered id, its **arrival sequence number**
-//!   (mod 2³²).  Because eviction always removes the oldest arrival and the
-//!   live sequence numbers form a contiguous range, `position_from_tail` is
-//!   a single subtraction: `next_seq − seq`;
+//!   as a `u16` relative to the current *epoch*.  Because eviction always
+//!   removes the oldest arrival, the live sequence numbers form a
+//!   contiguous range of at most `len() ≤ capacity < 2¹⁶` values, so
+//!   `position_from_tail` is a single subtraction: `next_seq − seq` — exact
+//!   by construction, with no modular arithmetic to reason about (see
+//!   *Epoch wrapping* below);
 //! * the maximum held id is cached; it only needs recomputing when the
 //!   evicted segment *is* the maximum (an out-of-order tail, rare in
 //!   practice), which costs one reverse word scan and still no allocation.
 //!
+//! # Epoch wrapping
+//!
+//! A `u16` arrival counter overflows after 65 536 inserts — a *real* event
+//! for any long-lived stream (a 10 segment/s channel gets there in under
+//! two hours).  Instead of relying on wrapping subtraction (whose
+//! correctness silently depends on the live window never straddling the
+//! wrap), the buffer keeps an explicit invariant:
+//!
+//! > all live sequence numbers lie in `[next_seq − len, next_seq)` with
+//! > `next_seq ≤ 2¹⁶`.
+//!
+//! When the counter reaches 2¹⁶ the buffer **renormalises**: it subtracts
+//! the oldest live sequence number from every live entry (one pass over the
+//! set bits, no allocation), bumping the *epoch*.  Positions are exact
+//! across arbitrarily many epochs; [`epochs`](FifoBuffer::epochs) counts the
+//! renormalisations for tests and diagnostics.  This is why
+//! [`FifoBuffer::new`] rejects capacities ≥ 2¹⁶ — the live range must fit
+//! one epoch.
+//!
 //! # Memory model
 //!
 //! The window costs O(span) bytes, where span = `max held id − min held id`
-//! (not O(capacity) like a tree/map index): ~9 bytes per id of span.  This
-//! is the right trade for streaming workloads, where FIFO eviction keeps
-//! the span within a few multiples of the buffer capacity.  Ids are **not**
-//! required to be contiguous, but they must be stream-local: inserting two
-//! ids further than [`MAX_SPAN_IDS`] apart panics with a diagnostic instead
-//! of silently attempting a giant allocation.
+//! (not O(capacity) like a tree/map index): 1 availability bit plus a
+//! 2-byte sequence entry per id of span, and 4 ring bytes per held segment.
+//! This is the right trade for streaming workloads, where FIFO eviction
+//! keeps the span within a few multiples of the buffer capacity.  Ids are
+//! **not** required to be contiguous, but they must be stream-local:
+//! inserting two ids further than [`MAX_SPAN_IDS`] apart panics with a
+//! diagnostic instead of silently attempting a giant allocation.
+//! [`mem_breakdown`](FifoBuffer::mem_breakdown) reports the reserved bytes
+//! per component; see `docs/performance.md` for the per-peer budget.
 
+use crate::mem::{vec_bytes, BufferMemBreakdown, MemoryFootprint};
 use crate::segment::SegmentId;
 use std::collections::VecDeque;
 
@@ -49,27 +79,34 @@ const GROWTH_SLACK_WORDS: usize = 4;
 /// Largest allowed distance between the smallest and largest held id.
 ///
 /// The availability window costs O(span) memory (see the module docs); a
-/// span beyond this bound (4M ids ≈ 38 MB of window) almost certainly means
+/// span beyond this bound (4M ids ≈ 10 MB of window) almost certainly means
 /// the buffer is being fed non-stream ids, so we fail fast with a clear
-/// message rather than letting the allocator abort.
+/// message rather than letting the allocator abort.  The bound also keeps
+/// ring offsets well inside `u32`.
 pub const MAX_SPAN_IDS: u64 = 1 << 22;
+
+/// One past the largest sequence number an epoch can hold.
+const EPOCH_LIMIT: u32 = 1 << 16;
 
 /// FIFO buffer of segment ids with O(1) membership and position queries and
 /// word-level availability access.
 #[derive(Debug, Clone, Default)]
 pub struct FifoBuffer {
     capacity: usize,
-    /// Arrival order, oldest at the front.
-    arrivals: VecDeque<SegmentId>,
+    /// Arrival order, oldest at the front, as offsets from `base`.
+    arrivals: VecDeque<u32>,
     /// First id covered by the bitmap; always a multiple of 64.
     base: u64,
     /// Availability bits over `[base, base + 64·words.len())`.
     words: Vec<u64>,
-    /// Arrival sequence number per covered id (valid only where the
-    /// availability bit is set).
-    seqs: Vec<u32>,
-    /// Sequence number the next insert will receive.
+    /// Epoch-relative arrival sequence number per covered id (valid only
+    /// where the availability bit is set).
+    seqs: Vec<u16>,
+    /// Sequence number the next insert will receive; kept ≤ [`EPOCH_LIMIT`]
+    /// by renormalisation.
     next_seq: u32,
+    /// Number of epoch renormalisations performed so far.
+    epochs: u64,
     /// Cached greatest held id.
     max: Option<SegmentId>,
 }
@@ -78,8 +115,12 @@ impl PartialEq for FifoBuffer {
     fn eq(&self, other: &Self) -> bool {
         // Two buffers are equal when they would behave identically: same
         // capacity and same segments in the same arrival order.  The bitmap
-        // window placement is an implementation detail.
-        self.capacity == other.capacity && self.arrivals == other.arrivals
+        // window placement and the epoch anchoring are implementation
+        // details (the ring stores base-relative offsets, so raw entries
+        // are not comparable across different window histories).
+        self.capacity == other.capacity
+            && self.arrivals.len() == other.arrivals.len()
+            && self.arrivals().eq(other.arrivals())
     }
 }
 
@@ -87,9 +128,14 @@ impl FifoBuffer {
     /// Creates an empty buffer that can hold `capacity` segments.
     ///
     /// # Panics
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero or does not fit one sequence epoch
+    /// (`capacity ≥ 2¹⁶` — see the module docs on epoch wrapping).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
+        assert!(
+            capacity < EPOCH_LIMIT as usize,
+            "buffer capacity {capacity} must fit one u16 sequence epoch (< {EPOCH_LIMIT})"
+        );
         FifoBuffer {
             capacity,
             arrivals: VecDeque::with_capacity(capacity),
@@ -97,6 +143,7 @@ impl FifoBuffer {
             words: Vec::new(),
             seqs: Vec::new(),
             next_seq: 0,
+            epochs: 0,
             max: None,
         }
     }
@@ -114,6 +161,14 @@ impl FifoBuffer {
     /// True when the buffer holds no segments.
     pub fn is_empty(&self) -> bool {
         self.arrivals.is_empty()
+    }
+
+    /// Number of sequence-epoch renormalisations performed so far.
+    ///
+    /// Grows by one per 2¹⁶ arrivals in steady state; useful to assert that
+    /// a test actually crossed an epoch boundary.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
     }
 
     fn offset_of(&self, id: u64) -> Option<usize> {
@@ -153,7 +208,8 @@ impl FifoBuffer {
             .unwrap_or(0)
     }
 
-    /// Drops dead (all-zero) leading words, sliding the window base up.
+    /// Drops dead (all-zero) leading words, sliding the window base up and
+    /// re-anchoring the ring offsets.
     fn compact_leading_zeros(&mut self) {
         let zeros = self.words.iter().take_while(|&&w| w == 0).count();
         if zeros == 0 || zeros == self.words.len() {
@@ -165,6 +221,23 @@ impl FifoBuffer {
         self.seqs.copy_within(zeros * 64..len * 64, 0);
         self.seqs.truncate((len - zeros) * 64);
         self.base += (zeros as u64) * 64;
+        // Every held id sits at or above the new base, so every ring offset
+        // is at least `zeros·64`.
+        let delta = (zeros * 64) as u32;
+        for offset in self.arrivals.iter_mut() {
+            *offset -= delta;
+        }
+    }
+
+    /// Grows a vector to `new_len` zeroes without amortised over-allocation:
+    /// window growth is rare and self-limiting (compaction reclaims dead
+    /// words), so exact reservations keep the steady-state footprint at the
+    /// true high-water mark instead of up to 2× of it.
+    fn grow_exact<T: Copy + Default>(v: &mut Vec<T>, new_len: usize) {
+        if new_len > v.capacity() {
+            v.reserve_exact(new_len - v.len());
+        }
+        v.resize(new_len, T::default());
     }
 
     /// Grows/slides the window so `id` is covered.
@@ -175,8 +248,8 @@ impl FifoBuffer {
     fn ensure_covered(&mut self, id: u64) {
         if self.words.is_empty() {
             self.base = id & !63;
-            self.words.resize(1 + GROWTH_SLACK_WORDS, 0);
-            self.seqs.resize((1 + GROWTH_SLACK_WORDS) * 64, 0);
+            Self::grow_exact(&mut self.words, 1 + GROWTH_SLACK_WORDS);
+            Self::grow_exact(&mut self.seqs, (1 + GROWTH_SLACK_WORDS) * 64);
             return;
         }
         if id < self.base {
@@ -190,13 +263,19 @@ impl FifoBuffer {
             let new_base = id & !63;
             let shift = ((self.base - new_base) / 64) as usize;
             let old_len = self.words.len();
-            self.words.resize(old_len + shift, 0);
+            Self::grow_exact(&mut self.words, old_len + shift);
             self.words.copy_within(0..old_len, shift);
             self.words[..shift].fill(0);
-            self.seqs.resize((old_len + shift) * 64, 0);
+            Self::grow_exact(&mut self.seqs, (old_len + shift) * 64);
             self.seqs.copy_within(0..old_len * 64, shift * 64);
             self.seqs[..shift * 64].fill(0);
             self.base = new_base;
+            // Held ids kept their absolute positions, so their offsets from
+            // the lowered base all grew by the prepended span.
+            let delta = (shift * 64) as u32;
+            for offset in self.arrivals.iter_mut() {
+                *offset += delta;
+            }
             return;
         }
         let needed = ((id - self.base) / 64) as usize + 1;
@@ -214,8 +293,8 @@ impl FifoBuffer {
                  this buffer is designed for stream-local segment ids",
                 self.base
             );
-            self.words.resize(needed + GROWTH_SLACK_WORDS, 0);
-            self.seqs.resize((needed + GROWTH_SLACK_WORDS) * 64, 0);
+            Self::grow_exact(&mut self.words, needed + GROWTH_SLACK_WORDS);
+            Self::grow_exact(&mut self.seqs, (needed + GROWTH_SLACK_WORDS) * 64);
         }
     }
 
@@ -230,6 +309,44 @@ impl FifoBuffer {
         }
     }
 
+    /// Removes and returns the oldest arrival (the FIFO victim).
+    fn evict_oldest(&mut self) -> SegmentId {
+        let offset = self.arrivals.pop_front().expect("non-empty when evicting") as usize;
+        let old = SegmentId(self.base + offset as u64);
+        self.words[offset / 64] &= !(1 << (offset % 64));
+        if self.max == Some(old) {
+            self.recompute_max();
+        }
+        old
+    }
+
+    /// Re-anchors all live sequence numbers to a fresh epoch: subtracts the
+    /// oldest live sequence number from every live entry so the range
+    /// becomes `[0, len)` and the counter restarts at `len`.  One pass over
+    /// the set bits, no allocation.
+    fn renormalise_epoch(&mut self) {
+        let live = self.arrivals.len() as u32;
+        let delta = self.next_seq - live;
+        if delta == 0 {
+            return;
+        }
+        if live > 0 {
+            // Live sequence numbers are exactly [delta, next_seq), so the
+            // u16 subtraction below can never underflow.
+            let delta = delta as u16;
+            for (i, &word) in self.words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let offset = i * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.seqs[offset] -= delta;
+                }
+            }
+        }
+        self.next_seq = live;
+        self.epochs += 1;
+    }
+
     /// Inserts a segment.  Returns the evicted segment if the buffer was full,
     /// or `None`.  Re-inserting an already-held segment is a no-op.
     pub fn insert(&mut self, segment: SegmentId) -> Option<SegmentId> {
@@ -237,26 +354,39 @@ impl FifoBuffer {
             return None;
         }
         let evicted = if self.arrivals.len() == self.capacity {
-            let old = self.arrivals.pop_front().expect("non-empty when full");
-            let offset = self.offset_of(old.value()).expect("held ids are covered");
-            self.words[offset / 64] &= !(1 << (offset % 64));
-            if self.max == Some(old) {
-                self.recompute_max();
-            }
-            Some(old)
+            Some(self.evict_oldest())
         } else {
             None
         };
         self.ensure_covered(segment.value());
+        if self.next_seq == EPOCH_LIMIT {
+            self.renormalise_epoch();
+        }
+        debug_assert!(self.next_seq < EPOCH_LIMIT);
         let offset = (segment.value() - self.base) as usize;
         self.words[offset / 64] |= 1 << (offset % 64);
-        self.seqs[offset] = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        self.arrivals.push_back(segment);
+        self.seqs[offset] = self.next_seq as u16;
+        self.next_seq += 1;
+        self.arrivals.push_back(offset as u32);
         if self.max.is_none_or(|m| segment > m) {
             self.max = Some(segment);
         }
         evicted
+    }
+
+    /// Evicts the `n` oldest arrivals without inserting anything, returning
+    /// how many were removed (fewer than `n` when the buffer runs out).
+    ///
+    /// Positions of the surviving segments are unchanged — distance from
+    /// the tail does not depend on how many older segments exist.  Useful
+    /// for memory-pressure trimming and for exercising the window
+    /// shrink-then-regrow paths.
+    pub fn shrink_front(&mut self, n: usize) -> usize {
+        let count = n.min(self.arrivals.len());
+        for _ in 0..count {
+            self.evict_oldest();
+        }
+        count
     }
 
     /// Position of a segment measured from the tail (insertion end): the
@@ -270,7 +400,9 @@ impl FifoBuffer {
         if (self.words[offset / 64] >> (offset % 64)) & 1 == 0 {
             return None;
         }
-        Some(self.next_seq.wrapping_sub(self.seqs[offset]) as usize)
+        // Exact: live seqs lie in [next_seq − len, next_seq), so the
+        // difference is within [1, len] — no wrapping involved.
+        Some((self.next_seq - self.seqs[offset] as u32) as usize)
     }
 
     /// Positions of many segments at once.
@@ -297,7 +429,10 @@ impl FifoBuffer {
 
     /// Iterator over held segments in arrival order (oldest first).
     pub fn arrivals(&self) -> impl Iterator<Item = SegmentId> + '_ {
-        self.arrivals.iter().copied()
+        let base = self.base;
+        self.arrivals
+            .iter()
+            .map(move |&offset| SegmentId(base + offset as u64))
     }
 
     /// Number of held segments with ids in `[from, to]` (inclusive):
@@ -352,6 +487,21 @@ impl FifoBuffer {
     /// Greatest held id, if any (O(1), cached).
     pub fn max_id(&self) -> Option<SegmentId> {
         self.max
+    }
+
+    /// Reserved heap bytes per component (ring / window / sequence array).
+    pub fn mem_breakdown(&self) -> BufferMemBreakdown {
+        BufferMemBreakdown {
+            ring_bytes: self.arrivals.capacity() * std::mem::size_of::<u32>(),
+            window_bytes: vec_bytes(&self.words),
+            seq_bytes: vec_bytes(&self.seqs),
+        }
+    }
+}
+
+impl MemoryFootprint for FifoBuffer {
+    fn heap_bytes(&self) -> usize {
+        self.mem_breakdown().heap_total()
     }
 }
 
@@ -502,9 +652,107 @@ mod tests {
             "window kept {} words for a 64-id span",
             b.words.len()
         );
-        // Positions still exact after 100k slides.
+        // Positions still exact after 100k slides (and one epoch bump).
         assert_eq!(b.position_from_tail(SegmentId(99_999)), Some(1));
         assert_eq!(b.position_from_tail(SegmentId(99_936)), Some(64));
+        assert_eq!(b.epochs(), 1, "100k arrivals cross one 2^16 epoch");
+    }
+
+    /// The wraparound regression test the u16 counter makes cheap: stream
+    /// far enough past 2¹⁶ arrivals that the counter renormalises several
+    /// times, checking positions stay exact at every point around each
+    /// epoch boundary (with the old wrapping-subtraction scheme this is
+    /// where a live window straddling the wrap went wrong — and at u32 the
+    /// equivalent test would need 4 × 10⁹ inserts).
+    #[test]
+    fn positions_stay_exact_across_epoch_wraps() {
+        let mut b = FifoBuffer::new(600);
+        let total = 3 * (EPOCH_LIMIT as u64) + 1234;
+        for i in 0..total {
+            b.insert(SegmentId(i));
+            // Probe right as each epoch boundary approaches and passes: the
+            // whole live window must stay a permutation of 1..=len.
+            let near_boundary = (i + 2) % (EPOCH_LIMIT as u64) < 4;
+            if near_boundary || i == total - 1 {
+                let len = b.len() as u64;
+                for back in [0u64, 1, len / 2, len - 1] {
+                    if back >= len {
+                        continue;
+                    }
+                    let id = SegmentId(i - back);
+                    assert_eq!(
+                        b.position_from_tail(id),
+                        Some(back as usize + 1),
+                        "wrong position for {id} after {i} arrivals"
+                    );
+                }
+            }
+        }
+        assert_eq!(b.epochs(), 3, "three epoch renormalisations expected");
+        assert_eq!(b.len(), 600);
+    }
+
+    /// Satellite audit: window growth zero-fills `seqs` for newly covered
+    /// ids, and renormalisation rewrites live entries to start at 0 — so a
+    /// *stale* zero in `seqs` (an id that was covered, evicted, then the
+    /// region re-covered) coexists with a *live* zero.  The two can never be
+    /// confused because every read of `seqs` is gated on the availability
+    /// bit; this test pins that down across an uncover/recover cycle right
+    /// after an epoch bump.
+    #[test]
+    fn stale_zero_seqs_never_collide_with_live_seqs() {
+        let mut b = FifoBuffer::new(4);
+        // Drive the counter to the epoch boundary exactly.
+        for i in 0..EPOCH_LIMIT as u64 {
+            b.insert(SegmentId(i));
+        }
+        assert_eq!(b.epochs(), 0);
+        // The next insert renormalises: live seqs become 0..4, so the oldest
+        // live entry now stores seq 0.
+        b.insert(SegmentId(EPOCH_LIMIT as u64));
+        assert_eq!(b.epochs(), 1);
+        let oldest = SegmentId(EPOCH_LIMIT as u64 - 3);
+        assert_eq!(b.position_from_tail(oldest), Some(4));
+
+        // Rebase the window downwards onto a long-uncovered region whose
+        // fresh seq entries are zero-filled: ids there are NOT held, so the
+        // stale/fresh zeros must read as absent, not as position len().
+        let low = SegmentId(EPOCH_LIMIT as u64 - 10_000);
+        b.insert(low); // evicts the oldest, re-covers the low region
+        assert_eq!(b.position_from_tail(low), Some(1));
+        for probe in 1..64u64 {
+            let id = SegmentId(low.value() + probe);
+            assert!(!b.contains(id));
+            assert_eq!(
+                b.position_from_tail(id),
+                None,
+                "zero-filled seq for uncovered id {id} leaked a position"
+            );
+        }
+        // The surviving live entries still report exact positions.
+        assert_eq!(b.position_from_tail(SegmentId(EPOCH_LIMIT as u64)), Some(2));
+    }
+
+    #[test]
+    fn shrink_front_evicts_oldest_and_keeps_positions() {
+        let mut b = FifoBuffer::new(8);
+        for i in 0..8u64 {
+            b.insert(SegmentId(i));
+        }
+        assert_eq!(b.shrink_front(3), 3);
+        assert_eq!(b.len(), 5);
+        assert!(!b.contains(SegmentId(2)));
+        assert!(b.contains(SegmentId(3)));
+        // Tail distances are unchanged by dropping the head.
+        assert_eq!(b.position_from_tail(SegmentId(7)), Some(1));
+        assert_eq!(b.position_from_tail(SegmentId(3)), Some(5));
+        assert_eq!(b.arrivals().collect::<Vec<_>>(), ids(&[3, 4, 5, 6, 7]));
+        // Over-shrinking clamps; the buffer stays usable afterwards.
+        assert_eq!(b.shrink_front(100), 5);
+        assert!(b.is_empty());
+        assert_eq!(b.max_id(), None);
+        b.insert(SegmentId(50));
+        assert_eq!(b.position_from_tail(SegmentId(50)), Some(1));
     }
 
     #[test]
@@ -548,9 +796,49 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_window_anchoring() {
+        // Same segments in the same arrival order through different window
+        // histories (one buffer slid, the other did not): still equal.
+        let mut slid = FifoBuffer::new(4);
+        for i in 0..1_000u64 {
+            slid.insert(SegmentId(i));
+        }
+        let mut fresh = FifoBuffer::new(4);
+        for i in 996..1_000u64 {
+            fresh.insert(SegmentId(i));
+        }
+        assert_eq!(slid, fresh);
+        fresh.insert(SegmentId(1_000));
+        assert_ne!(slid, fresh);
+    }
+
+    #[test]
+    fn mem_breakdown_reports_reserved_capacities() {
+        let mut b = FifoBuffer::new(64);
+        for i in 0..1_000u64 {
+            b.insert(SegmentId(i));
+        }
+        let mem = b.mem_breakdown();
+        assert_eq!(mem.ring_bytes, b.arrivals.capacity() * 4);
+        assert_eq!(mem.window_bytes, b.words.capacity() * 8);
+        assert_eq!(mem.seq_bytes, b.seqs.capacity() * 2);
+        assert_eq!(mem.heap_total(), b.heap_bytes());
+        assert!(b.footprint_bytes() > b.heap_bytes());
+        // The compact layout halves the ring and seq components, so the
+        // legacy baseline must cost strictly more.
+        assert!(mem.legacy_heap_total() > mem.heap_total());
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = FifoBuffer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 sequence epoch")]
+    fn epoch_sized_capacity_panics() {
+        let _ = FifoBuffer::new(1 << 16);
     }
 
     #[test]
@@ -567,6 +855,76 @@ mod tests {
         let mut b = FifoBuffer::new(4);
         b.insert(SegmentId(1 << 40));
         b.insert(SegmentId(0));
+    }
+
+    /// Naive reference model of the FIFO semantics: a plain arrival list,
+    /// no bitmap, no sequence numbers, no window.  The compact layout must
+    /// be observationally identical to this.
+    struct NaiveFifo {
+        capacity: usize,
+        arrivals: Vec<u64>,
+    }
+
+    impl NaiveFifo {
+        fn new(capacity: usize) -> Self {
+            NaiveFifo {
+                capacity,
+                arrivals: Vec::new(),
+            }
+        }
+
+        fn insert(&mut self, id: u64) -> Option<u64> {
+            if self.arrivals.contains(&id) {
+                return None;
+            }
+            let evicted = if self.arrivals.len() == self.capacity {
+                Some(self.arrivals.remove(0))
+            } else {
+                None
+            };
+            self.arrivals.push(id);
+            evicted
+        }
+
+        fn shrink_front(&mut self, n: usize) -> usize {
+            let count = n.min(self.arrivals.len());
+            self.arrivals.drain(..count);
+            count
+        }
+
+        fn position_from_tail(&self, id: u64) -> Option<usize> {
+            self.arrivals
+                .iter()
+                .position(|&a| a == id)
+                .map(|i| self.arrivals.len() - i)
+        }
+
+        fn ids(&self) -> Vec<SegmentId> {
+            let mut sorted = self.arrivals.clone();
+            sorted.sort_unstable();
+            sorted.into_iter().map(SegmentId).collect()
+        }
+
+        fn arrivals(&self) -> Vec<SegmentId> {
+            self.arrivals.iter().copied().map(SegmentId).collect()
+        }
+    }
+
+    /// One step of the model-equivalence property, encoded as `(tag, value)`:
+    /// tags 0..8 insert (ids drawn from a sliding base so the window
+    /// slides, shrinks and regrows), tag 8 shrinks the front.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u64),
+        ShrinkFront(usize),
+    }
+
+    fn decode_op((tag, value): (u8, u64)) -> Op {
+        if tag < 8 {
+            Op::Insert(value)
+        } else {
+            Op::ShrinkFront((value % 12) as usize)
+        }
     }
 
     proptest::proptest! {
@@ -604,6 +962,51 @@ mod tests {
                 b.count_in_range(SegmentId(0), SegmentId(500)),
                 b.len()
             );
+        }
+
+        /// The compact layout (u32 ring offsets, u16 epoch seqs, sliding
+        /// window) is observationally identical to the naive model under
+        /// random insert / slide / shrink_front / regrow sequences.
+        #[test]
+        fn prop_compact_layout_matches_naive_model(
+            cap in 1usize..24,
+            raw_ops in proptest::collection::vec((0u8..9, 0u64..4_000), 1..250),
+            slide in 0u64..100_000,
+        ) {
+            let mut compact = FifoBuffer::new(cap);
+            let mut naive = NaiveFifo::new(cap);
+            for (step, raw) in raw_ops.iter().enumerate() {
+                match decode_op(*raw) {
+                    Op::Insert(id) => {
+                        // Drift the id base upwards over the run so the
+                        // window must slide and compact; the raw low ids
+                        // still land below it, forcing downward regrows.
+                        let id = id + slide * (step as u64 % 3) / 2;
+                        let evicted = compact.insert(SegmentId(id));
+                        let expected = naive.insert(id).map(SegmentId);
+                        proptest::prop_assert_eq!(evicted, expected);
+                    }
+                    Op::ShrinkFront(n) => {
+                        proptest::prop_assert_eq!(compact.shrink_front(n), naive.shrink_front(n));
+                    }
+                }
+                proptest::prop_assert_eq!(compact.len(), naive.arrivals.len());
+            }
+            // Observable state must agree exactly: id set, arrival order,
+            // and every position.
+            proptest::prop_assert_eq!(compact.ids().collect::<Vec<_>>(), naive.ids());
+            proptest::prop_assert_eq!(compact.arrivals().collect::<Vec<_>>(), naive.arrivals());
+            let probe: Vec<SegmentId> = naive
+                .arrivals()
+                .into_iter()
+                .chain((0..50).map(|i| SegmentId(i * 97)))
+                .collect();
+            let expected: Vec<Option<usize>> = probe
+                .iter()
+                .map(|&s| naive.position_from_tail(s.value()))
+                .collect();
+            proptest::prop_assert_eq!(compact.positions_of(&probe), expected);
+            proptest::prop_assert_eq!(compact.max_id(), naive.ids().last().copied());
         }
     }
 }

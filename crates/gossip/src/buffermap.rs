@@ -10,6 +10,7 @@
 //! budget and round-trip the message.
 
 use crate::buffer::FifoBuffer;
+use crate::mem::MemoryFootprint;
 use crate::segment::SegmentId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -186,6 +187,12 @@ impl BufferMap {
         } else {
             None
         }
+    }
+}
+
+impl MemoryFootprint for BufferMap {
+    fn heap_bytes(&self) -> usize {
+        crate::mem::vec_bytes(&self.words)
     }
 }
 

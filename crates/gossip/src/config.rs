@@ -91,6 +91,17 @@ impl GossipConfig {
         if self.buffer_capacity == 0 {
             return err("buffer_capacity must be positive".into());
         }
+        if self.buffer_capacity >= 1 << 16 {
+            // The FIFO buffer's compact layout stores u16 epoch-relative
+            // arrival sequence numbers; the live range (≤ capacity entries)
+            // must fit one epoch.  Catch it here instead of panicking deep
+            // inside system construction.
+            return err(format!(
+                "buffer_capacity {} must fit one u16 sequence epoch (< {})",
+                self.buffer_capacity,
+                1u32 << 16
+            ));
+        }
         if self.startup_q == 0 {
             return err("startup_q must be positive".into());
         }
@@ -148,6 +159,9 @@ mod tests {
         assert!(bad(|c| c.tau_secs = 0.0).message.contains("tau"));
         assert!(bad(|c| c.play_rate = -1.0).message.contains("play_rate"));
         assert!(bad(|c| c.buffer_capacity = 0).message.contains("buffer"));
+        assert!(bad(|c| c.buffer_capacity = 1 << 16)
+            .message
+            .contains("u16 sequence epoch"));
         assert!(bad(|c| c.startup_q = 0).message.contains("startup_q"));
         assert!(bad(|c| c.new_source_qs = 0)
             .message

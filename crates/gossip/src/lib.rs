@@ -28,6 +28,8 @@
 //! * [`membership`] — neighbour-set repair under churn,
 //! * [`peer`] — per-node protocol state and context construction,
 //! * [`stats`] — traffic counters, switch records and ratio samples,
+//! * [`mem`] — the [`mem::MemoryFootprint`] accounting trait and the
+//!   per-peer byte meter surfaced in reports (see `docs/performance.md`),
 //! * [`scratch`] — the reusable per-period working memory (zero-allocation
 //!   hot path; see `docs/performance.md`),
 //! * [`hasher`] — deterministic hashing for hot-path maps, and
@@ -39,6 +41,7 @@ pub mod buffer;
 pub mod buffermap;
 pub mod config;
 pub mod hasher;
+pub mod mem;
 pub mod membership;
 pub mod peer;
 pub mod playback;
@@ -52,6 +55,7 @@ pub mod transfer;
 pub use buffer::FifoBuffer;
 pub use buffermap::BufferMap;
 pub use config::GossipConfig;
+pub use mem::{BufferMemBreakdown, MemUsage, MemoryFootprint};
 pub use peer::{NeighborInfo, PeerNode};
 pub use playback::{PlaybackPhase, PlaybackState};
 pub use scheduler::{

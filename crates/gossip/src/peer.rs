@@ -8,6 +8,7 @@
 
 use crate::buffer::FifoBuffer;
 use crate::config::GossipConfig;
+use crate::mem::MemoryFootprint;
 use crate::playback::PlaybackState;
 use crate::scheduler::{CandidateSegment, SchedulingContext, SessionView, SupplierInfo};
 use crate::segment::{SegmentId, Session, SessionDirectory};
@@ -282,6 +283,14 @@ impl PeerNode {
             .map(|s| s.first_segment);
 
         self.playback.advance(&self.buffer, budget, limit)
+    }
+}
+
+impl MemoryFootprint for PeerNode {
+    /// A node's heap is its buffer: playback, discovery and credit state
+    /// are inline scalars.
+    fn heap_bytes(&self) -> usize {
+        self.buffer.heap_bytes()
     }
 }
 

@@ -31,6 +31,7 @@
 //! [`SystemReport`]: crate::system::SystemReport
 
 use crate::config::GossipConfig;
+use crate::mem::{vec_bytes, MemoryFootprint};
 use crate::peer::PeerNode;
 use crate::scheduler::{CandidateSegment, SchedulerScratch, SchedulingContext, SupplierInfo};
 use crate::segment::{SegmentId, SessionDirectory};
@@ -265,6 +266,60 @@ impl WorkerScratch {
         self.ctx.q1 = q1;
         self.ctx.q2 = q2;
         true
+    }
+}
+
+impl MemoryFootprint for WorkerScratch {
+    /// Context candidates, the recycled supplier/request pools and the
+    /// bitset word buffers.  The type-erased scheduler scratch counts as
+    /// its slot only (its contents are policy-private).
+    fn heap_bytes(&self) -> usize {
+        let nested_suppliers: usize = self
+            .ctx
+            .candidates
+            .iter()
+            .map(|c| vec_bytes(&c.suppliers))
+            .chain(self.supplier_pool.iter().map(vec_bytes))
+            .sum();
+        let nested_requests: usize = self
+            .out
+            .iter()
+            .map(|b| vec_bytes(&b.requests))
+            .chain(self.request_pool.iter().map(vec_bytes))
+            .sum();
+        vec_bytes(&self.ctx.candidates)
+            + nested_suppliers
+            + vec_bytes(&self.need_words)
+            + vec_bytes(&self.avail_words)
+            + vec_bytes(&self.out)
+            + vec_bytes(&self.request_pool)
+            + vec_bytes(&self.supplier_pool)
+            + nested_requests
+    }
+}
+
+impl MemoryFootprint for PeriodScratch {
+    /// The dense per-peer tables, the active/observed lists, the merged
+    /// batches, the recycled request vectors and every worker slot.
+    fn heap_bytes(&self) -> usize {
+        let nested_requests: usize = self
+            .batches
+            .iter()
+            .map(|b| vec_bytes(&b.requests))
+            .chain(self.request_pool.iter().map(vec_bytes))
+            .sum();
+        let workers: usize =
+            vec_bytes(&self.workers) + self.workers.iter().map(|w| w.heap_bytes()).sum::<usize>();
+        vec_bytes(&self.active)
+            + vec_bytes(&self.observed_max)
+            + vec_bytes(&self.outbound_rate)
+            + vec_bytes(&self.inbound_rate)
+            + vec_bytes(&self.outbound_budget)
+            + vec_bytes(&self.batches)
+            + vec_bytes(&self.request_pool)
+            + vec_bytes(&self.deliveries)
+            + nested_requests
+            + workers
     }
 }
 

@@ -33,6 +33,7 @@
 //! as the baseline for `BENCH_period.json`.
 
 use crate::config::GossipConfig;
+use crate::mem::{vec_bytes, MemUsage, MemoryFootprint};
 use crate::membership::MembershipMaintainer;
 use crate::peer::{NeighborInfo, PeerNode};
 use crate::scheduler::SegmentScheduler;
@@ -64,6 +65,11 @@ pub struct SystemReport {
     /// Seconds (since the switch) at which the last countable node completed
     /// the switch, if every countable node did.
     pub switch_completed_secs: Option<f64>,
+    /// Per-peer protocol-state footprint at report time (active peers only;
+    /// a pure function of the protocol history, so it never breaks report
+    /// equivalence across implementations, worker counts or stepping
+    /// modes — see [`crate::mem`]).
+    pub mem: MemUsage,
 }
 
 /// The period-synchronous gossip streaming simulator.
@@ -219,6 +225,12 @@ impl StreamingSystem {
     /// Number of scheduling periods executed so far.
     pub fn periods(&self) -> u64 {
         self.period_index
+    }
+
+    /// Traffic accumulated over the whole run so far (the `traffic_total`
+    /// of [`report`](Self::report), without building the report).
+    pub fn traffic_total(&self) -> TrafficCounters {
+        self.traffic_total
     }
 
     /// Read access to one peer (panics on unknown ids).
@@ -530,7 +542,29 @@ impl StreamingSystem {
             traffic_switch_window: self.traffic_switch_window,
             periods: self.period_index,
             switch_completed_secs: self.switch_completed_secs,
+            mem: self.memory_usage(),
         }
+    }
+
+    /// The per-peer protocol-state footprint meter: bytes reserved by the
+    /// **active** peers' state (ring / window / sequence array plus the
+    /// inline node), aggregated into a [`MemUsage`].
+    ///
+    /// Deterministic across implementations and execution strategies (it
+    /// reads protocol state only — never the scratch arena, whose size
+    /// follows the configured parallelism), so it is safe to surface in
+    /// [`SystemReport`].  For the full process picture including scratch,
+    /// use the [`MemoryFootprint`] impl on the system itself.
+    pub fn memory_usage(&self) -> MemUsage {
+        let mut usage = MemUsage {
+            peer_slots: self.peers.len(),
+            ..MemUsage::default()
+        };
+        let inline = std::mem::size_of::<PeerNode>();
+        for p in self.overlay.active_peers() {
+            usage.add_peer(inline, self.peers[p as usize].buffer().mem_breakdown());
+        }
+        usage
     }
 
     // ------------------------------------------------------------------
@@ -988,6 +1022,23 @@ impl StreamingSystem {
     }
 }
 
+impl MemoryFootprint for StreamingSystem {
+    /// The whole simulated process: every peer slot (including departed
+    /// peers, whose state stays allocated), the scratch arena, the switch
+    /// records and ratio samples.  Unlike [`SystemReport::mem`] this
+    /// depends on the configured parallelism (worker slots) and is *not*
+    /// surfaced in reports.
+    fn heap_bytes(&self) -> usize {
+        let peers: usize =
+            vec_bytes(&self.peers) + self.peers.iter().map(|p| p.heap_bytes()).sum::<usize>();
+        peers
+            + self.scratch.heap_bytes()
+            + vec_bytes(&self.switch_records)
+            + vec_bytes(&self.ratio_samples)
+            + vec_bytes(&self.sources)
+    }
+}
+
 /// Splits `active_len` nodes over at most `workers` contiguous chunks.
 ///
 /// Returns `(chunk_size, chunk_count)`.  Both the request-vector
@@ -1416,6 +1467,32 @@ mod tests {
         sys.depart_batch(&[]).unwrap();
         assert!(sys.admit_batch(&[]).unwrap().is_empty());
         sys.run_periods(5);
+    }
+
+    /// The report-surfaced memory meter: counts active peers, reports a
+    /// positive per-peer footprint, and the compact layout's saving over
+    /// the legacy (u64-ring / u32-seq) layout meets the ≥ 40 % target.
+    #[test]
+    fn memory_meter_tracks_active_peer_state() {
+        let mut sys = build_system(60, 31);
+        let (s1, _) = first_two(&sys);
+        sys.start_initial_source(s1);
+        sys.run_periods(40);
+        let mem = sys.report().mem;
+        assert_eq!(mem.active_peers, sys.overlay().active_count());
+        assert_eq!(mem.peer_slots, 60);
+        assert!(mem.bytes_per_peer() > 0.0);
+        assert!(mem.max_peer_bytes >= mem.peer_bytes / mem.active_peers as u64);
+        assert!(
+            mem.reduction_vs_legacy() >= 0.40,
+            "compact layout must save ≥ 40% vs the legacy layout, got {:.1}%",
+            100.0 * mem.reduction_vs_legacy()
+        );
+        // The full-system footprint covers at least the peer state, and the
+        // breakdown components sum into the per-peer bytes.
+        use crate::mem::MemoryFootprint;
+        assert!(sys.heap_bytes() as u64 >= mem.peer_bytes);
+        assert!(mem.ring_bytes + mem.window_bytes + mem.seq_bytes <= mem.peer_bytes);
     }
 
     #[test]

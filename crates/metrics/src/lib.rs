@@ -13,6 +13,8 @@
 //!   multi-channel runtime (viewers hopping between concurrent streams),
 //! * [`zapload::ZapLoadSummary`] — the arrival skew across channels
 //!   realised by a popularity-skewed (Zipf / flash-crowd) zap workload,
+//! * [`mem::MemSummary`] — the per-peer memory footprint (bytes/peer,
+//!   ring / window / sequence breakdown) aggregated across systems,
 //! * [`timeseries::RatioTrack`] — the undelivered-`S1` / delivered-`S2`
 //!   tracks of Figures 5 and 9,
 //! * [`overhead::OverheadSummary`] — the communication overhead of Figures 8
@@ -22,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod mem;
 pub mod overhead;
 pub mod report;
 pub mod summary;
@@ -29,6 +32,7 @@ pub mod switch;
 pub mod timeseries;
 pub mod zapload;
 
+pub use mem::MemSummary;
 pub use overhead::OverheadSummary;
 pub use report::Table;
 pub use summary::Summary;

@@ -51,7 +51,7 @@
 use crate::pool::WorkerPool;
 use crate::zap::{ZapBatch, ZapSchedule, ZapWorkload};
 use fss_gossip::{GossipConfig, SegmentScheduler, StreamingSystem, TrafficCounters};
-use fss_metrics::{ZapLoadSummary, ZapSummary};
+use fss_metrics::{MemSummary, ZapLoadSummary, ZapSummary};
 use fss_overlay::{BandwidthConfig, ChurnModel, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
 use fss_sim::exec::DisjointSlots;
 use fss_trace::{GeneratorConfig, TraceGenerator};
@@ -247,6 +247,10 @@ pub struct RuntimeReport {
     /// How zap arrivals are distributed over channels (the popularity skew
     /// actually realised by the workload).
     pub zap_load: ZapLoadSummary,
+    /// Per-peer memory footprint aggregated across all channels (active
+    /// peers' protocol state — a pure function of the simulated history,
+    /// so it cannot break mode/pool-size report equivalence).
+    pub mem: MemSummary,
 }
 
 impl RuntimeReport {
@@ -488,7 +492,7 @@ impl SessionManager {
                     channel: index,
                     viewers: channel.system.overlay().active_count(),
                     periods: channel.system.periods(),
-                    traffic: channel.system.report().traffic_total,
+                    traffic: channel.system.traffic_total(),
                     zaps_in: channel.zaps_in,
                     zaps_out: channel.zaps_out,
                     zap_latency: ZapSummary::from_latencies(&channel.arrival_latencies, unresolved),
@@ -502,12 +506,18 @@ impl SessionManager {
             unresolved += channel.pending.len() + channel.zaps_abandoned;
         }
         let arrivals: Vec<usize> = self.channels.iter().map(|c| c.zaps_in).collect();
+        let usages: Vec<fss_gossip::MemUsage> = self
+            .channels
+            .iter()
+            .map(|c| c.system.memory_usage())
+            .collect();
         RuntimeReport {
             periods: self.period,
             workload: self.schedule.name(),
             channels,
             cross_channel_zaps: ZapSummary::from_latencies(&all, unresolved),
             zap_load: ZapLoadSummary::from_arrivals(&arrivals),
+            mem: MemSummary::from_usages(&usages),
         }
     }
 
@@ -717,8 +727,19 @@ impl SessionManager {
                     .any(|zap| zap.viewer == p && zap.joined_period == period)
             })
             .collect();
+        // Live survival floor, mirroring the schedule's modelled
+        // MIN_CHANNEL_POPULATION (source + 1): the schedule plans against
+        // its own population model, but concurrent churn, clamped earlier
+        // batches or a custom `ZapSchedule` can leave the live channel
+        // smaller than modelled — and a plan-sized take would then drain
+        // it to source-only membership.  Keep at least one non-source peer
+        // behind; same-boundary arrivals count as staying (they are
+        // present, merely ineligible to move again this boundary).
+        let non_source_present = origin.system.overlay().active_count() - 1;
+        let floor_reserve = usize::from(non_source_present == eligible.len());
+        let quota = eligible.len().saturating_sub(floor_reserve);
         let movers: Vec<PeerId> = eligible
-            .choose_multiple(&mut rng, viewers.min(eligible.len()))
+            .choose_multiple(&mut rng, viewers.min(quota))
             .copied()
             .collect();
         if movers.is_empty() {
@@ -911,6 +932,52 @@ mod tests {
             report.zap_load
         );
         assert!(report.zap_load.gini > 0.15);
+    }
+
+    /// Satellite audit (survival floor vs concurrent churn): the schedule's
+    /// population model floors *modelled* channels at source + 1, but the
+    /// live channel can be smaller than modelled (churn, clamped earlier
+    /// batches, or a custom schedule that plans from stale data).  The
+    /// session-level clamp must therefore enforce the floor on the *live*
+    /// population: without it, this drain-everything schedule empties
+    /// channel 0 to source-only membership at the first measured boundary.
+    #[test]
+    fn zap_batches_respect_the_live_survival_floor() {
+        struct DrainEverything;
+        impl ZapSchedule for DrainEverything {
+            fn name(&self) -> String {
+                "drain-everything".to_string()
+            }
+            fn batches_at(&mut self, period: u64, out: &mut Vec<ZapBatch>) {
+                // Far more viewers than channel 0 will ever hold.
+                out.push(ZapBatch {
+                    period,
+                    from: 0,
+                    to: 1,
+                    viewers: 1_000,
+                });
+            }
+        }
+
+        let mut m = manager(2, 3, 31);
+        m.set_zap_schedule(Box::new(DrainEverything));
+        m.enable_channel_churn(7);
+        m.warmup(15);
+        for step in 0..10 {
+            m.step();
+            for c in 0..m.channels() {
+                assert!(
+                    m.channel_system(c).overlay().active_count() >= 2,
+                    "channel {c} drained below the survival floor at step {step}"
+                );
+            }
+        }
+        let report = m.report();
+        // The drain really ran (almost the whole channel moved out)...
+        assert!(report.channels[0].zaps_out > 30);
+        // ...and the floored channel keeps streaming.
+        assert!(report.channels[0].traffic.data_bits > 0);
+        assert_eq!(report.periods, 25);
     }
 
     #[test]

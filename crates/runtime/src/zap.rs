@@ -35,8 +35,11 @@ use serde::Serialize;
 
 /// One planned viewer movement between two channels at a period boundary.
 ///
-/// `viewers` is the *requested* count; the session clamps it to the source
-/// channel's eligible population when the batch is applied.
+/// `viewers` is the *requested* count; the session clamps it when the batch
+/// is applied — to the source channel's eligible population, and further to
+/// its live survival floor (at least one non-source peer always stays, so a
+/// plan drawn from a stale population model can never drain a channel to
+/// source-only membership).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct ZapBatch {
     /// Period boundary at which the batch applies (viewers move before the

@@ -53,13 +53,15 @@ pub use fss_trace as trace;
 pub mod prelude {
     pub use fss_core::{FastSwitchScheduler, NormalSwitchScheduler, SwitchModel};
     pub use fss_experiments::{
-        run_comparison, run_scenario, Algorithm, ComparisonResult, Environment, RunResult,
-        ScenarioConfig,
+        run_comparison, run_large_population, run_scenario, sweep_memory, Algorithm,
+        ComparisonResult, Environment, LargePopulationReport, MemoryScenario, RunResult,
+        ScenarioConfig, LARGE_POPULATION_NODES,
     };
     pub use fss_gossip::{
-        GossipConfig, SchedulingContext, SegmentId, SegmentScheduler, StreamingSystem,
+        GossipConfig, MemUsage, MemoryFootprint, SchedulingContext, SegmentId, SegmentScheduler,
+        StreamingSystem,
     };
-    pub use fss_metrics::{reduction_ratio, SwitchSummary, Table, ZapSummary};
+    pub use fss_metrics::{reduction_ratio, MemSummary, SwitchSummary, Table, ZapSummary};
     pub use fss_overlay::{ChurnModel, Overlay, OverlayBuilder, OverlayConfig, PeerId};
     pub use fss_runtime::{
         RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool, ZapWorkload,
