@@ -15,17 +15,27 @@
 //!   `fss-runtime` worker pool (no thread spawns per period);
 //! * `mem/*` — the per-peer footprint meter on the same steady system:
 //!   prints steady-state bytes/peer (compact vs legacy layout) and times
-//!   one full meter sweep.
+//!   one full meter sweep;
+//! * `zap_admission/*` — the per-batch cost of resolving one zap batch
+//!   (mover selection + per-arrival neighbour/attribute sampling) through
+//!   the legacy collect-then-`choose_multiple` path versus the membership
+//!   directory's pooled admission pipeline.
 //!
-//! The measured periods/second ratio and the `mem/*` bytes/peer figures
-//! are recorded in `BENCH_period.json` (acceptance targets: ≥ 2× speedup,
-//! ≥ 40 % bytes/peer reduction).
+//! The measured periods/second ratio, the `mem/*` bytes/peer figures and
+//! the `zap_admission/*` per-batch costs are recorded in
+//! `BENCH_period.json` (acceptance targets: ≥ 2× period speedup, ≥ 40 %
+//! bytes/peer reduction, directory admission ≤ legacy admission).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fss_core::FastSwitchScheduler;
-use fss_gossip::{GossipConfig, StreamingSystem};
-use fss_overlay::OverlayBuilder;
+use fss_gossip::{
+    AdmissionPipeline, AdmissionScratch, GossipConfig, MembershipView, StreamingSystem,
+};
+use fss_overlay::{BandwidthConfig, OverlayBuilder, PeerAttrs, PeerId};
 use fss_trace::{GeneratorConfig, TraceGenerator};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 const NODES: usize = 1_000;
 const WARMUP_PERIODS: u64 = 60;
@@ -100,5 +110,160 @@ fn bench_memory_footprint(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_period_throughput, bench_memory_footprint);
+/// The `zap_admission/*` lane: what one zap batch (12 movers out, 12
+/// arrivals in, `M = 5` neighbours each) costs to *resolve* on a steady
+/// 1k-node channel pair.
+///
+/// * `legacy_batch_1k` — the pre-directory path (the PR 4 baseline):
+///   collect the origin's eligible peers and the target's full candidate
+///   list into fresh `Vec`s, then `choose_multiple` (which itself builds an
+///   O(channel) index table per call) and per-arrival neighbour `Vec`s.
+/// * `directory_batch_1k` — the membership directory: incremental views,
+///   pooled scratch, sparse-Fisher–Yates sampling.  Identical RNG stream,
+///   identical output, zero allocation.
+fn bench_zap_admission(c: &mut Criterion) {
+    const BATCH: usize = 12;
+    const DEGREE: usize = 5;
+
+    let origin = steady_system(2);
+    let target = steady_system(3);
+    let origin_source = origin.overlay().active_peers().next().unwrap();
+    let bandwidth = BandwidthConfig::default();
+
+    // Sanity: the two paths must agree before we time them.
+    let legacy = legacy_resolve(
+        &origin,
+        &target,
+        origin_source,
+        BATCH,
+        DEGREE,
+        bandwidth,
+        &mut SmallRng::seed_from_u64(77),
+    );
+    let mut scratch = AdmissionScratch::default();
+    directory_resolve(
+        origin.membership_view(),
+        target.membership_view(),
+        origin_source,
+        BATCH,
+        DEGREE,
+        bandwidth,
+        &mut SmallRng::seed_from_u64(77),
+        &mut scratch,
+    );
+    assert_eq!(scratch.movers, legacy.0, "mover selection must agree");
+    assert_eq!(scratch.neighbours, legacy.1, "neighbour sets must agree");
+
+    let mut group = c.benchmark_group("zap_admission");
+    group.sample_size(20);
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    group.bench_function("legacy_batch_1k", |b| {
+        b.iter(|| {
+            black_box(legacy_resolve(
+                &origin,
+                &target,
+                origin_source,
+                BATCH,
+                DEGREE,
+                bandwidth,
+                &mut rng,
+            ))
+        })
+    });
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    group.bench_function("directory_batch_1k", |b| {
+        b.iter(|| {
+            directory_resolve(
+                origin.membership_view(),
+                target.membership_view(),
+                origin_source,
+                BATCH,
+                DEGREE,
+                bandwidth,
+                &mut rng,
+                &mut scratch,
+            );
+            black_box(scratch.neighbours.len())
+        })
+    });
+
+    group.finish();
+}
+
+/// The pre-directory zap-batch resolution, verbatim from the PR 4
+/// `SessionManager::apply_batch`: fresh collections and per-arrival `Vec`s.
+#[allow(clippy::type_complexity)]
+fn legacy_resolve(
+    origin: &StreamingSystem,
+    target: &StreamingSystem,
+    origin_source: PeerId,
+    batch: usize,
+    degree: usize,
+    bandwidth: BandwidthConfig,
+    rng: &mut SmallRng,
+) -> (Vec<PeerId>, Vec<PeerId>, Vec<(PeerAttrs, Vec<PeerId>)>) {
+    let eligible: Vec<PeerId> = origin
+        .overlay()
+        .active_peers()
+        .filter(|&p| p != origin_source)
+        .collect();
+    let non_source_present = origin.overlay().active_count() - 1;
+    let floor_reserve = usize::from(non_source_present == eligible.len());
+    let quota = eligible.len().saturating_sub(floor_reserve);
+    let movers: Vec<PeerId> = eligible
+        .choose_multiple(rng, batch.min(quota))
+        .copied()
+        .collect();
+    let candidates: Vec<PeerId> = target.overlay().active_peers().collect();
+    let degree = degree.min(candidates.len());
+    let mut flat = Vec::new();
+    let arrivals: Vec<(PeerAttrs, Vec<PeerId>)> = movers
+        .iter()
+        .map(|_| {
+            let neighbours: Vec<PeerId> =
+                candidates.choose_multiple(rng, degree).copied().collect();
+            flat.extend_from_slice(&neighbours);
+            let attrs = PeerAttrs {
+                ping_ms: 80.0 * rng.gen_range(0.5..2.0),
+                bandwidth: bandwidth.sample_peer(rng),
+            };
+            (attrs, neighbours)
+        })
+        .collect();
+    (movers, flat, arrivals)
+}
+
+/// The directory path: the same resolution out of pooled scratch.
+#[allow(clippy::too_many_arguments)]
+fn directory_resolve(
+    origin: &MembershipView,
+    target: &MembershipView,
+    origin_source: PeerId,
+    batch: usize,
+    degree: usize,
+    bandwidth: BandwidthConfig,
+    rng: &mut SmallRng,
+    scratch: &mut AdmissionScratch,
+) {
+    let pipeline = AdmissionPipeline;
+    scratch.clear();
+    pipeline.select_movers(origin, origin_source, |_| false, batch, rng, scratch);
+    let degree = degree.min(target.candidates().len());
+    for _ in 0..scratch.movers.len() {
+        pipeline.sample_neighbours(target, degree, rng, scratch);
+        scratch.attrs.push(PeerAttrs {
+            ping_ms: 80.0 * rng.gen_range(0.5..2.0),
+            bandwidth: bandwidth.sample_peer(rng),
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_period_throughput,
+    bench_memory_footprint,
+    bench_zap_admission
+);
 criterion_main!(benches);

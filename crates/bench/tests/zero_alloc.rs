@@ -81,6 +81,90 @@ fn steady_state_period_loop_does_not_allocate() {
     );
 }
 
+/// The membership-directory guarantee: resolving a zap batch — mover
+/// selection from the origin channel's view, per-arrival neighbour and
+/// attribute sampling from the target channel's view — allocates **zero**
+/// heap in steady state.  Before the directory existed this path collected
+/// the target channel's entire `active_peers()` into a fresh `Vec` per
+/// batch and cloned a neighbour `Vec` per arrival (and the vendored
+/// `choose_multiple` allocates an O(channel) index table per call); the
+/// pooled [`fss_gossip::AdmissionScratch`] plus the sparse-Fisher–Yates
+/// sampler absorb all of it.
+///
+/// The admission *mutation* (actually adding the peers) is deliberately
+/// outside the guarantee: a brand-new peer's protocol state (buffer,
+/// window, ring) is genuine growth, not per-batch working memory — ids are
+/// never reused.
+#[test]
+fn steady_state_zap_batch_resolution_does_not_allocate() {
+    use fss_gossip::AdmissionPipeline;
+    use fss_overlay::BandwidthConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let build = |seed: u64| {
+        let trace =
+            TraceGenerator::new(GeneratorConfig::sized(250, seed)).generate("zero-alloc-zap");
+        let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+        let source = overlay.active_peers().next().unwrap();
+        let mut sys = StreamingSystem::new(
+            overlay,
+            GossipConfig::paper_default(),
+            Box::new(FastSwitchScheduler::new()),
+        );
+        sys.start_initial_source(source);
+        sys.run_periods(40);
+        (sys, source)
+    };
+    let (origin, origin_source) = build(31);
+    let (target, _) = build(32);
+
+    let pipeline = AdmissionPipeline;
+    let mut scratch = fss_gossip::AdmissionScratch::default();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let bandwidth = BandwidthConfig::default();
+    let resolve_batch = |scratch: &mut fss_gossip::AdmissionScratch, rng: &mut SmallRng| -> usize {
+        scratch.clear();
+        pipeline.select_movers(
+            origin.membership_view(),
+            origin_source,
+            |_| false,
+            12,
+            rng,
+            scratch,
+        );
+        let view = target.membership_view();
+        let degree = 5.min(view.candidates().len());
+        for _ in 0..scratch.movers.len() {
+            pipeline.sample_neighbours(view, degree, rng, scratch);
+            scratch.attrs.push(fss_overlay::PeerAttrs {
+                ping_ms: 80.0 * rng.gen_range(0.5..2.0),
+                bandwidth: bandwidth.sample_peer(rng),
+            });
+        }
+        scratch.movers.len() + scratch.neighbours.len()
+    };
+
+    // Warm-up: the pooled buffers and the sampler's displacement table
+    // reach their high-water capacities.
+    let mut produced = 0;
+    for _ in 0..50 {
+        produced += resolve_batch(&mut scratch, &mut rng);
+    }
+
+    let before = allocations();
+    for _ in 0..50 {
+        produced += resolve_batch(&mut scratch, &mut rng);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state zap-batch resolution allocated {during} times; \
+         the admission scratch must absorb all working memory"
+    );
+    assert!(produced > 0, "the batches actually resolved work");
+}
+
 /// The same guarantee for the pool-backed parallel path: dispatching the
 /// scheduling sweep onto the persistent `fss-runtime` worker pool (raw
 /// job pointer under a mutex, chunk-stealing cursor, condvar parking) must

@@ -11,7 +11,8 @@
 //!   large-population scenario the compact per-peer layout enables,
 //! * [`zapping`] — the multi-channel channel-zapping workload (viewers
 //!   hopping between concurrent streams) and its sweeps: channel count,
-//!   Zipf popularity skew, flash-crowd storm size,
+//!   Zipf popularity skew, flash-crowd storm size, and the membership
+//!   directory's admission rate limit (zap latency vs admission delay),
 //! * [`figures`] — one module per evaluation figure (5–12) producing the
 //!   table/series the paper plots.
 //!
@@ -35,6 +36,7 @@ pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};
 pub use sweep::{sweep_sizes, sweep_sizes_on, SweepPoint};
 pub use zapping::{
-    run_channel_zapping, sweep_channel_counts, sweep_storm_sizes, sweep_zipf_alphas,
-    AlphaSweepPoint, StormSweepPoint, ZappingScenario, ZappingSweepPoint,
+    run_channel_zapping, sweep_admission_rates, sweep_channel_counts, sweep_storm_sizes,
+    sweep_zipf_alphas, AdmissionSweepPoint, AlphaSweepPoint, StormSweepPoint, ZappingScenario,
+    ZappingSweepPoint,
 };

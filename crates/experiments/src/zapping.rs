@@ -14,6 +14,9 @@
 //!   shift the zap load and the latency distribution?
 //! * [`sweep_storm_sizes`] — how does a flash crowd of growing size stress
 //!   the target channel's join path?
+//! * [`sweep_admission_rates`] — a fixed-size flash crowd against a
+//!   sweep of `max_admits_per_period` rate limits: the zap-latency versus
+//!   admission-delay tradeoff of the membership directory's join queue.
 //!
 //! All runs use the pipelined stepping mode (channels synchronise pairwise
 //! at zap batches only), whose reports are byte-identical to barrier
@@ -22,7 +25,8 @@
 
 use crate::scenario::Algorithm;
 use fss_runtime::{
-    RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool, ZapWorkload,
+    AdmissionControl, RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool,
+    ZapWorkload,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -192,6 +196,61 @@ pub fn sweep_storm_sizes(
         .collect()
 }
 
+/// One point of the admission-rate sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdmissionSweepPoint {
+    /// The per-channel per-boundary admission cap (`None` = unlimited, the
+    /// legacy admit-everything-at-the-boundary behaviour).
+    pub max_admits_per_period: Option<usize>,
+    /// The aggregated runtime report under that cap.
+    pub report: RuntimeReport,
+}
+
+/// Sweeps the membership directory's admission rate limit against a fixed
+/// flash crowd: `storm_size` viewers converge on channel 0 halfway through
+/// the measured window while each channel admits at most
+/// `max_admits_per_period` arrivals per boundary.
+///
+/// The sweep exposes the deployment tradeoff the ROADMAP's storm-time
+/// admission-control item asks about: an unlimited channel absorbs the
+/// whole crowd in one boundary (fast zaps, a join stampede on the overlay),
+/// while a tight limit spreads the crowd over many boundaries (bounded join
+/// churn per period, but queued viewers wait — their zap latency includes
+/// the admission delay, reported separately in
+/// [`fss_metrics::AdmissionSummary`]).
+pub fn sweep_admission_rates(
+    rates: &[Option<usize>],
+    storm_size: usize,
+    base: &ZappingScenario,
+    pool: &Arc<WorkerPool>,
+) -> Vec<AdmissionSweepPoint> {
+    let at = base.warmup_periods + base.measure_periods / 2;
+    rates
+        .iter()
+        .map(|&max_admits_per_period| {
+            let scenario = ZappingScenario {
+                session: SessionConfig {
+                    admission: AdmissionControl {
+                        max_admits_per_period,
+                        ..base.session.admission
+                    },
+                    ..base.session
+                },
+                ..*base
+            }
+            .with_workload(ZapWorkload::FlashCrowd {
+                target: 0,
+                at,
+                size: storm_size,
+            });
+            AdmissionSweepPoint {
+                max_admits_per_period,
+                report: run_channel_zapping(&scenario, pool),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +331,45 @@ mod tests {
         assert!(stormy.channels[0].zaps_in >= calm.channels[0].zaps_in + 30);
         assert_eq!(stormy.zap_load.busiest_channel, 0);
         assert!(stormy.zap_load.busiest_share > calm.zap_load.busiest_share);
+    }
+
+    /// The admission-rate sweep exposes the latency/delay tradeoff: tighter
+    /// caps defer more of the storm and push the admission delay up, while
+    /// the unlimited point never queues anything.
+    #[test]
+    fn admission_sweep_trades_zap_latency_for_admission_delay() {
+        let base = ZappingScenario {
+            measure_periods: 40,
+            warmup_periods: 20,
+            ..ZappingScenario::quick(3, 40)
+        };
+        let pool = Arc::new(WorkerPool::new(2));
+        let points = sweep_admission_rates(&[None, Some(16), Some(4)], 50, &base, &pool);
+        assert_eq!(points.len(), 3);
+
+        let unlimited = &points[0].report;
+        assert!(!unlimited.admission.rate_limited);
+        assert_eq!(unlimited.admission.deferred, 0);
+        assert!(unlimited.total_zaps() > 0);
+
+        let loose = &points[1].report;
+        let tight = &points[2].report;
+        for limited in [loose, tight] {
+            assert!(limited.admission.rate_limited);
+            assert!(limited.admission.deferred > 0, "{:?}", limited.admission);
+        }
+        // A tighter cap defers for longer: the storm drains at 4/boundary
+        // instead of 16/boundary on the target channel.
+        assert!(
+            tight.admission.avg_delay_secs > loose.admission.avg_delay_secs,
+            "tight {:?} vs loose {:?}",
+            tight.admission,
+            loose.admission
+        );
+        assert!(tight.admission.max_delay_secs >= loose.admission.max_delay_secs);
+        // All three points observe the same planned workload.
+        assert_eq!(unlimited.total_zaps(), loose.total_zaps());
+        assert_eq!(unlimited.total_zaps(), tight.total_zaps());
     }
 
     #[test]

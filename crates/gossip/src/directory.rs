@@ -1,0 +1,651 @@
+//! The cross-channel membership directory: per-channel membership views and
+//! the shared admission pipeline.
+//!
+//! A multi-channel deployment (the CliqueStream and live-entertainment
+//! settings of PAPERS.md) needs switching viewers to locate partners in
+//! their target channel *instantly* — the whole point of fast source
+//! switching is lost if the join path first has to enumerate the channel.
+//! Before this module existed, every zap batch re-collected the target
+//! channel's entire `active_peers()` into a fresh `Vec` and sampled
+//! neighbours from scratch: an allocation on the zap hot path and O(channel
+//! size) work per arrival.
+//!
+//! The directory replaces that with **incrementally maintained views**:
+//!
+//! * [`MembershipView`] — one channel's membership, mirrored as a sorted
+//!   (ascending [`PeerId`]) member list updated on every join/depart event
+//!   (churn, zap arrivals/departures, external admits).  The sorted order is
+//!   exactly the order `Overlay::active_peers()` yields, so samplers drawing
+//!   from the view consume the *same RNG stream over the same candidate
+//!   set* as the legacy collect-then-sample path — reports stay
+//!   byte-identical (pinned by the `golden_report` tests in `fss-runtime`).
+//!   Optionally the view also maintains a **bounded candidate list**
+//!   (CliqueStream-style partial view): a deterministic reservoir sample of
+//!   at most `candidate_bound` members, refreshed incrementally, so huge
+//!   channels hand newcomers a constant-size partner set.
+//! * [`AdmissionPipeline`] — the shared join machinery: allocation-free
+//!   sampling of movers and per-arrival neighbour sets out of pooled
+//!   scratch buffers ([`AdmissionScratch`]) for zap batches and flash-crowd
+//!   storms, with churn joiners drawing from the same views through the
+//!   same sampler; the session layer adds an optional **rate-limited
+//!   admission queue** (`max_admits_per_period`) on top that spreads a
+//!   flash crowd's joins over several period boundaries instead of one.
+//! * [`sample_distinct`] — the allocation-free sampler underneath both: a
+//!   sparse partial Fisher–Yates that reproduces `SliceRandom::
+//!   choose_multiple`'s output (and RNG consumption) exactly, in
+//!   O(amount) instead of O(slice) time and zero steady-state heap.
+//!
+//! Ownership: each [`StreamingSystem`](crate::StreamingSystem) owns the view
+//! of its own channel and keeps it in sync as a side effect of every
+//! membership event, so channels stepping concurrently (the pipelined
+//! session manager) never share mutable state; the session layer reads a
+//! view only at a zap-batch boundary, where the two endpoint channels are
+//! synchronised anyway — directory reads are the *only* cross-channel
+//! synchronisation points.
+
+use crate::hasher::FxHashMap;
+use crate::mem::{vec_bytes, MemoryFootprint};
+use fss_overlay::{PeerAttrs, PeerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sorts id-keyed items ascending by their id.
+///
+/// Ids are unique, so the key is a total order and the (allocation-free)
+/// unstable sort is deterministic.  Shared by the directory's view
+/// construction and id-ordered candidate scheduling (see the scheduler
+/// tests in [`crate::system`]).
+pub fn sort_by_id<T, K: Ord>(items: &mut [T], id: impl Fn(&T) -> K) {
+    items.sort_unstable_by_key(id);
+}
+
+/// Configuration of one channel's membership view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewConfig {
+    /// Upper bound on the sampled candidate list handed to newcomers.
+    /// `None` keeps the candidate list equal to the full membership (the
+    /// default — byte-identical to the legacy collect-then-sample path).
+    pub candidate_bound: Option<usize>,
+    /// Seed of the view's reservoir decisions (only consumed when
+    /// `candidate_bound` is set).
+    pub seed: u64,
+}
+
+impl Default for ViewConfig {
+    fn default() -> Self {
+        ViewConfig {
+            candidate_bound: None,
+            seed: 0x000D_17EC_7021,
+        }
+    }
+}
+
+/// One channel's membership view: the sorted member list plus the (optional)
+/// bounded candidate list newcomers sample their partners from.
+///
+/// Updated incrementally on every membership event — O(log n) search plus
+/// an O(n) shift per event instead of an O(n) collection *per zap batch*,
+/// and no allocation once the backing vectors reach their high-water marks.
+#[derive(Debug, Clone)]
+pub struct MembershipView {
+    /// All active members, ascending by id (the same order
+    /// `Overlay::active_peers()` iterates in).
+    members: Vec<PeerId>,
+    /// Bounded candidate list (reservoir sample of `members`); empty when
+    /// the view is unbounded and [`candidates`](Self::candidates) returns
+    /// the full member list instead.
+    bounded: Vec<PeerId>,
+    /// Update stamp at which each `bounded` entry was (re)sampled, parallel
+    /// to `bounded`.  Drives the staleness metric.
+    bounded_stamps: Vec<u64>,
+    /// Total membership updates applied (joins + departs).
+    updates: u64,
+    /// Members ever seen by the bounded reservoir (its `i` in Algorithm R).
+    reservoir_seen: u64,
+    rng: SmallRng,
+    config: ViewConfig,
+}
+
+impl MembershipView {
+    /// An empty view with the given configuration.
+    pub fn new(config: ViewConfig) -> Self {
+        MembershipView {
+            members: Vec::new(),
+            bounded: Vec::new(),
+            bounded_stamps: Vec::new(),
+            updates: 0,
+            reservoir_seen: 0,
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x0D14_EC70),
+            config,
+        }
+    }
+
+    /// Builds a view over an existing membership (need not be sorted).
+    pub fn from_members(config: ViewConfig, members: impl IntoIterator<Item = PeerId>) -> Self {
+        let mut view = Self::new(config);
+        let mut initial: Vec<PeerId> = members.into_iter().collect();
+        sort_by_id(&mut initial, |&p| p);
+        for peer in initial {
+            view.on_join(peer);
+        }
+        view
+    }
+
+    /// The view's configuration.
+    pub fn config(&self) -> &ViewConfig {
+        &self.config
+    }
+
+    /// All active members, ascending by id.
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    /// Number of active members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the channel has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when `peer` is a member.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.members.binary_search(&peer).is_ok()
+    }
+
+    /// The candidate list newcomers sample partners from: the bounded
+    /// reservoir when a `candidate_bound` is configured, the full member
+    /// list otherwise.
+    pub fn candidates(&self) -> &[PeerId] {
+        if self.config.candidate_bound.is_some() {
+            &self.bounded
+        } else {
+            &self.members
+        }
+    }
+
+    /// Total membership updates (joins + departs) applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Mean age — in membership updates — of the candidate-list entries: how
+    /// far the sampled partial view lags the live membership.  Exact
+    /// (unbounded) views refresh on every update, so their staleness is the
+    /// mean time since each member joined only in the bounded case; the
+    /// unbounded case reports 0 because the candidate list *is* the
+    /// membership.
+    pub fn staleness(&self) -> f64 {
+        if self.config.candidate_bound.is_none() || self.bounded_stamps.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .bounded_stamps
+            .iter()
+            .map(|&stamp| self.updates - stamp)
+            .sum();
+        total as f64 / self.bounded_stamps.len() as f64
+    }
+
+    /// Registers a join.  Idempotence is deliberately *not* provided: every
+    /// overlay membership event must be mirrored exactly once.
+    ///
+    /// # Panics
+    /// Panics if `peer` is already a member.
+    pub fn on_join(&mut self, peer: PeerId) {
+        let at = self
+            .members
+            .binary_search(&peer)
+            .expect_err("peer joined twice");
+        self.members.insert(at, peer);
+        self.updates += 1;
+        if let Some(bound) = self.config.candidate_bound {
+            // Vitter's Algorithm R keeps `bounded` a uniform sample of every
+            // member the reservoir has seen; the stamps record when each
+            // slot was last refreshed (the staleness metric).
+            self.reservoir_seen += 1;
+            if self.bounded.len() < bound {
+                self.bounded.push(peer);
+                self.bounded_stamps.push(self.updates);
+            } else {
+                let slot = self.rng.gen_range(0..self.reservoir_seen) as usize;
+                if slot < bound {
+                    self.bounded[slot] = peer;
+                    self.bounded_stamps[slot] = self.updates;
+                }
+            }
+        }
+    }
+
+    /// Registers a departure.
+    ///
+    /// # Panics
+    /// Panics if `peer` is not a member.
+    pub fn on_depart(&mut self, peer: PeerId) {
+        let at = self
+            .members
+            .binary_search(&peer)
+            .expect("departing peer is a member");
+        self.members.remove(at);
+        self.updates += 1;
+        if self.config.candidate_bound.is_some() {
+            // Refill the vacated slot from the live membership so the
+            // candidate list never hands out a departed peer.
+            if let Some(slot) = self.bounded.iter().position(|&c| c == peer) {
+                self.refill_slot(slot);
+            }
+        }
+    }
+
+    /// Replaces the candidate at `slot` with a random live member not
+    /// already in the list (or removes the slot when none exists).
+    fn refill_slot(&mut self, slot: usize) {
+        // Fast path: rejection-sample a member index.  With the bound well
+        // below the membership (the situation bounded views exist for) each
+        // draw lands outside the candidate list with probability ≥ 1/2, so
+        // the expected cost is O(bound) — not a scan of the whole channel.
+        if self.members.len() >= 2 * self.bounded.len() {
+            for _ in 0..32 {
+                let pick = self.members[self.rng.gen_range(0..self.members.len())];
+                if !self.bounded.contains(&pick) {
+                    self.bounded[slot] = pick;
+                    self.bounded_stamps[slot] = self.updates;
+                    return;
+                }
+            }
+        }
+        // Dense memberships (or a pathological streak of rejections): one
+        // reservoir pass over the members outside the candidate list — the
+        // k-th outsider replaces the running pick with probability 1/k, so
+        // the survivor is uniform without a second scan.
+        let mut replacement = None;
+        let mut outside = 0u64;
+        for i in 0..self.members.len() {
+            let member = self.members[i];
+            if self.bounded.contains(&member) {
+                continue;
+            }
+            outside += 1;
+            if self.rng.gen_range(0..outside) == 0 {
+                replacement = Some(member);
+            }
+        }
+        match replacement {
+            Some(pick) => {
+                self.bounded[slot] = pick;
+                self.bounded_stamps[slot] = self.updates;
+            }
+            // Every member is already a candidate: the slot cannot be
+            // refilled, so the list shrinks.
+            None => {
+                self.bounded.swap_remove(slot);
+                self.bounded_stamps.swap_remove(slot);
+            }
+        }
+    }
+}
+
+impl MemoryFootprint for MembershipView {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.members) + vec_bytes(&self.bounded) + vec_bytes(&self.bounded_stamps)
+    }
+}
+
+/// Pooled working memory of [`sample_distinct`]: the sparse displacement
+/// table of the partial Fisher–Yates.  Reused across calls; zero heap once
+/// it reaches its high-water capacity.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    displaced: FxHashMap<usize, usize>,
+}
+
+impl MemoryFootprint for SampleScratch {
+    fn heap_bytes(&self) -> usize {
+        self.displaced.capacity() * std::mem::size_of::<(usize, usize)>()
+    }
+}
+
+/// Appends `amount` distinct elements of `slice`, in random order, to `out`
+/// (fewer when the slice is shorter) — the allocation-free equivalent of
+/// `SliceRandom::choose_multiple`.
+///
+/// Byte-compatible with the vendored `choose_multiple`: it performs the
+/// identical partial Fisher–Yates (`amount` draws of `gen_range(i..len)`)
+/// but tracks only the displaced indices in a pooled hash map instead of
+/// materialising the full `0..len` index table, cutting the per-call cost
+/// from O(len) time + one allocation to O(amount) time and zero heap.  The
+/// equivalence is asserted by this module's tests across sizes and seeds.
+pub fn sample_distinct<T: Copy, R: Rng + ?Sized>(
+    slice: &[T],
+    rng: &mut R,
+    amount: usize,
+    scratch: &mut SampleScratch,
+    out: &mut Vec<T>,
+) {
+    let amount = amount.min(slice.len());
+    let displaced = &mut scratch.displaced;
+    for i in 0..amount {
+        let j = rng.gen_range(i..slice.len());
+        // indices[k] of the dense algorithm, materialised lazily.
+        let value_i = displaced.get(&i).copied().unwrap_or(i);
+        let value_j = displaced.get(&j).copied().unwrap_or(j);
+        displaced.insert(j, value_i);
+        out.push(slice[value_j]);
+    }
+    displaced.clear();
+}
+
+/// Pooled buffers of one admission resolution — the working memory that
+/// used to be freshly allocated per zap batch.
+#[derive(Debug, Default)]
+pub struct AdmissionScratch {
+    /// Departure-eligible members of the origin channel.
+    pub eligible: Vec<PeerId>,
+    /// The movers drawn from `eligible`.
+    pub movers: Vec<PeerId>,
+    /// Per-arrival neighbour assignments, flattened (`degree` entries per
+    /// arrival).
+    pub neighbours: Vec<PeerId>,
+    /// Per-arrival attributes, parallel to the neighbour groups.
+    pub attrs: Vec<PeerAttrs>,
+    /// Per-arrival request stamps (the period boundary each arrival asked
+    /// to join at), parallel to `attrs`.
+    pub requested: Vec<u64>,
+    /// Ids assigned to the admitted arrivals.
+    pub admitted: Vec<PeerId>,
+    /// Sampler displacement table.
+    pub sampler: SampleScratch,
+}
+
+impl AdmissionScratch {
+    /// Clears every buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.eligible.clear();
+        self.movers.clear();
+        self.neighbours.clear();
+        self.attrs.clear();
+        self.requested.clear();
+        self.admitted.clear();
+    }
+}
+
+impl MemoryFootprint for AdmissionScratch {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.eligible)
+            + vec_bytes(&self.movers)
+            + vec_bytes(&self.neighbours)
+            + vec_bytes(&self.attrs)
+            + vec_bytes(&self.requested)
+            + vec_bytes(&self.admitted)
+            + self.sampler.heap_bytes()
+    }
+}
+
+/// The shared admission pipeline behind zap batches and flash-crowd storms:
+/// mover selection and per-arrival neighbour assignment against a
+/// [`MembershipView`] instead of a fresh overlay collection.  Churn joiners
+/// attach through the same views and the same [`sample_distinct`] sampler
+/// (see `StreamingSystem::apply_churn`); their departure side keeps the
+/// paper's shuffle-based eligibility model in `ChurnModel`.
+///
+/// The pipeline is stateless (all working memory lives in the caller's
+/// [`AdmissionScratch`]); rate limiting is the session layer's concern —
+/// see `fss_runtime::SessionManager` — because deferral needs the channel's
+/// period clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AdmissionPipeline;
+
+impl AdmissionPipeline {
+    /// Selects up to `requested` movers out of `view`, excluding `source`
+    /// and any peer `blocked` (same-boundary arrivals), respecting the live
+    /// survival floor (at least one non-source member stays behind).
+    ///
+    /// Fills `scratch.eligible` and `scratch.movers`; consumes the same RNG
+    /// stream as the legacy filter-collect-`choose_multiple` path.
+    pub fn select_movers(
+        &self,
+        view: &MembershipView,
+        source: PeerId,
+        mut blocked: impl FnMut(PeerId) -> bool,
+        requested: usize,
+        rng: &mut SmallRng,
+        scratch: &mut AdmissionScratch,
+    ) {
+        scratch.eligible.clear();
+        scratch.movers.clear();
+        scratch.eligible.extend(
+            view.members()
+                .iter()
+                .copied()
+                .filter(|&p| p != source && !blocked(p)),
+        );
+        // Live survival floor: when every non-source member is eligible, one
+        // must stay behind so the channel never drains to source-only
+        // membership (same-boundary arrivals count as staying — present,
+        // merely ineligible to move again this boundary).
+        let non_source_present = view.len() - 1;
+        let floor_reserve = usize::from(non_source_present == scratch.eligible.len());
+        let quota = scratch.eligible.len().saturating_sub(floor_reserve);
+        sample_distinct(
+            &scratch.eligible,
+            rng,
+            requested.min(quota),
+            &mut scratch.sampler,
+            &mut scratch.movers,
+        );
+    }
+
+    /// Draws one arrival's neighbour set from `view`'s candidate list into
+    /// `scratch.neighbours` (appending `degree.min(candidates)` entries) and
+    /// returns how many were appended.
+    ///
+    /// RNG-compatible with `candidates.choose_multiple(rng, degree)` over
+    /// the legacy collected candidate vector.
+    pub fn sample_neighbours(
+        &self,
+        view: &MembershipView,
+        degree: usize,
+        rng: &mut SmallRng,
+        scratch: &mut AdmissionScratch,
+    ) -> usize {
+        let candidates = view.candidates();
+        let take = degree.min(candidates.len());
+        sample_distinct(
+            candidates,
+            rng,
+            take,
+            &mut scratch.sampler,
+            &mut scratch.neighbours,
+        );
+        take
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    #[test]
+    fn sort_by_id_orders_ascending() {
+        let mut items = vec![(9u32, "c"), (1, "a"), (4, "b")];
+        sort_by_id(&mut items, |&(id, _)| id);
+        assert_eq!(
+            items.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![1, 4, 9]
+        );
+    }
+
+    /// The satellite guarantee: the sparse sampler is a drop-in replacement
+    /// for the vendored `choose_multiple` — identical picks *and* identical
+    /// RNG consumption (the stream must stay aligned for everything sampled
+    /// afterwards).
+    #[test]
+    fn sample_distinct_matches_choose_multiple_exactly() {
+        let mut scratch = SampleScratch::default();
+        for len in [0usize, 1, 2, 5, 17, 100, 1000] {
+            let slice: Vec<PeerId> = (0..len as PeerId).map(|i| i * 3 + 1).collect();
+            for amount in [0usize, 1, 2, 5, len / 2, len, len + 3] {
+                for seed in 0..20u64 {
+                    let mut reference_rng = SmallRng::seed_from_u64(seed);
+                    let reference: Vec<PeerId> = slice
+                        .choose_multiple(&mut reference_rng, amount)
+                        .copied()
+                        .collect();
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut out = Vec::new();
+                    sample_distinct(&slice, &mut rng, amount, &mut scratch, &mut out);
+                    assert_eq!(out, reference, "len={len} amount={amount} seed={seed}");
+                    // Post-sample draws must agree: the streams are aligned.
+                    assert_eq!(rng.gen_range(0..1_000_000u64), {
+                        reference_rng.gen_range(0..1_000_000u64)
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_mirrors_membership_in_sorted_order() {
+        let mut view = MembershipView::new(ViewConfig::default());
+        for p in [5u32, 1, 9, 3] {
+            view.on_join(p);
+        }
+        assert_eq!(view.members(), &[1, 3, 5, 9]);
+        assert_eq!(view.candidates(), &[1, 3, 5, 9]);
+        assert!(view.contains(5));
+        view.on_depart(5);
+        assert_eq!(view.members(), &[1, 3, 9]);
+        assert!(!view.contains(5));
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.updates(), 5);
+        assert_eq!(view.staleness(), 0.0, "exact views are never stale");
+        assert!(view.heap_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let mut view = MembershipView::new(ViewConfig::default());
+        view.on_join(1);
+        view.on_join(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a member")]
+    fn unknown_departure_panics() {
+        let mut view = MembershipView::new(ViewConfig::default());
+        view.on_depart(7);
+    }
+
+    #[test]
+    fn bounded_view_caps_the_candidate_list() {
+        let config = ViewConfig {
+            candidate_bound: Some(8),
+            seed: 42,
+        };
+        let mut view = MembershipView::from_members(config, 0..100u32);
+        assert_eq!(view.len(), 100);
+        assert_eq!(view.candidates().len(), 8);
+        // Candidates are always live members.
+        for &c in view.candidates() {
+            assert!(view.contains(c));
+        }
+        // Departing a candidate refills the slot from the live membership.
+        let victim = view.candidates()[0];
+        view.on_depart(victim);
+        assert_eq!(view.candidates().len(), 8);
+        for &c in view.candidates() {
+            assert!(view.contains(c), "candidate {c} is not a live member");
+            assert_ne!(c, victim);
+        }
+        // The reservoir is a *sample*: staleness grows as updates pass it by.
+        for p in 200..260u32 {
+            view.on_join(p);
+        }
+        assert!(view.staleness() > 0.0);
+    }
+
+    #[test]
+    fn bounded_view_shrinks_with_tiny_memberships() {
+        let config = ViewConfig {
+            candidate_bound: Some(4),
+            seed: 7,
+        };
+        let mut view = MembershipView::from_members(config, 0..4u32);
+        assert_eq!(view.candidates().len(), 4);
+        view.on_depart(0);
+        view.on_depart(1);
+        view.on_depart(2);
+        // Fewer members than the bound: every member is a candidate, no
+        // slot can be refilled from outside.
+        assert!(view.candidates().len() <= view.len());
+        for &c in view.candidates() {
+            assert!(view.contains(c));
+        }
+    }
+
+    #[test]
+    fn bounded_view_is_deterministic() {
+        let build = || {
+            let config = ViewConfig {
+                candidate_bound: Some(6),
+                seed: 99,
+            };
+            let mut view = MembershipView::from_members(config, 0..50u32);
+            for p in [3u32, 17, 40] {
+                view.on_depart(p);
+            }
+            for p in 60..80u32 {
+                view.on_join(p);
+            }
+            view.candidates().to_vec()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn pipeline_selects_movers_with_the_survival_floor() {
+        let view = MembershipView::from_members(ViewConfig::default(), 0..6u32);
+        let pipeline = AdmissionPipeline;
+        let mut scratch = AdmissionScratch::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Ask for far more movers than the channel can give up: everyone but
+        // the source is eligible, so the floor holds one back.
+        pipeline.select_movers(&view, 0, |_| false, 100, &mut rng, &mut scratch);
+        assert_eq!(scratch.eligible.len(), 5);
+        assert_eq!(scratch.movers.len(), 4, "one non-source member must stay");
+        assert!(!scratch.movers.contains(&0), "the source never moves");
+
+        // A blocked peer (same-boundary arrival) counts as staying, so the
+        // floor reserve is not double-charged.
+        let mut rng = SmallRng::seed_from_u64(2);
+        pipeline.select_movers(&view, 0, |p| p == 3, 100, &mut rng, &mut scratch);
+        assert_eq!(scratch.eligible.len(), 4);
+        assert_eq!(scratch.movers.len(), 4, "the blocked peer is the floor");
+        assert!(!scratch.movers.contains(&3));
+    }
+
+    #[test]
+    fn pipeline_neighbour_sampling_matches_the_legacy_path() {
+        let members: Vec<PeerId> = (0..40).collect();
+        let view = MembershipView::from_members(ViewConfig::default(), members.iter().copied());
+        let pipeline = AdmissionPipeline;
+        let mut scratch = AdmissionScratch::default();
+
+        let mut rng = SmallRng::seed_from_u64(11);
+        let taken = pipeline.sample_neighbours(&view, 5, &mut rng, &mut scratch);
+        assert_eq!(taken, 5);
+
+        // Legacy path: collect + choose_multiple over the same candidates.
+        let mut legacy_rng = SmallRng::seed_from_u64(11);
+        let legacy: Vec<PeerId> = members
+            .choose_multiple(&mut legacy_rng, 5)
+            .copied()
+            .collect();
+        assert_eq!(scratch.neighbours, legacy);
+    }
+}

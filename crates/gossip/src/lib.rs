@@ -26,6 +26,11 @@
 //! * [`transfer`] — bandwidth-constrained request resolution (per-supplier
 //!   outbound and per-requester inbound budgets),
 //! * [`membership`] — neighbour-set repair under churn,
+//! * [`directory`] — the cross-channel membership directory: per-channel
+//!   [`directory::MembershipView`]s maintained incrementally on every
+//!   join/depart (churn, zaps, storms), and the shared allocation-free
+//!   [`directory::AdmissionPipeline`] + sampler every join path draws its
+//!   partners from (see `docs/architecture.md`),
 //! * [`peer`] — per-node protocol state and context construction,
 //! * [`stats`] — traffic counters, switch records and ratio samples,
 //! * [`mem`] — the [`mem::MemoryFootprint`] accounting trait and the
@@ -40,6 +45,7 @@
 pub mod buffer;
 pub mod buffermap;
 pub mod config;
+pub mod directory;
 pub mod hasher;
 pub mod mem;
 pub mod membership;
@@ -55,6 +61,7 @@ pub mod transfer;
 pub use buffer::FifoBuffer;
 pub use buffermap::BufferMap;
 pub use config::GossipConfig;
+pub use directory::{AdmissionPipeline, AdmissionScratch, MembershipView, ViewConfig};
 pub use mem::{BufferMemBreakdown, MemUsage, MemoryFootprint};
 pub use peer::{NeighborInfo, PeerNode};
 pub use playback::{PlaybackPhase, PlaybackState};

@@ -8,6 +8,12 @@
 //! neighbour count fell below `M` acquire replacement neighbours, otherwise a
 //! long dynamic run slowly disconnects the mesh and the churn experiments
 //! measure an artefact instead of the switch algorithm.
+//!
+//! The maintainer is a **directory client**: it never enumerates the
+//! overlay itself — the caller hands it the channel's live member list
+//! (the [`crate::directory::MembershipView`] the streaming system keeps in
+//! sync on every join/depart), so a repair pass allocates nothing and costs
+//! O(under-connected peers), not O(channel).
 
 use fss_overlay::{Overlay, OverlayError, PeerId};
 use rand::rngs::SmallRng;
@@ -39,13 +45,26 @@ impl MembershipMaintainer {
     /// Reconnects every under-connected active peer to randomly chosen active
     /// peers until it has at least `min_degree` neighbours (or no more
     /// distinct peers exist).  Returns the number of edges added.
-    pub fn repair(&mut self, overlay: &mut Overlay) -> Result<usize, OverlayError> {
-        let active: Vec<PeerId> = overlay.active_peers().collect();
+    ///
+    /// `active` must list every active peer of the overlay — callers pass
+    /// their membership view's member list (ascending id, the same order a
+    /// fresh `active_peers()` collection would yield, so the repair RNG
+    /// stream is unchanged from the pre-directory implementation).
+    pub fn repair(
+        &mut self,
+        overlay: &mut Overlay,
+        active: &[PeerId],
+    ) -> Result<usize, OverlayError> {
+        debug_assert_eq!(
+            active.len(),
+            overlay.active_count(),
+            "the membership view is out of sync with the overlay"
+        );
         if active.len() < 2 {
             return Ok(0);
         }
         let mut added = 0;
-        for &peer in &active {
+        for &peer in active {
             let mut attempts = 0;
             let max_attempts = 20 * self.min_degree.max(1) * 4;
             while overlay.graph().degree(peer) < self.min_degree.min(active.len() - 1)
@@ -76,6 +95,11 @@ mod tests {
         OverlayBuilder::paper_default().build(&trace).unwrap()
     }
 
+    /// The member list a directory view would hand the maintainer.
+    fn members(o: &Overlay) -> Vec<PeerId> {
+        o.active_peers().collect()
+    }
+
     #[test]
     fn repair_restores_min_degree_after_churn() {
         let mut o = overlay(300, 1);
@@ -83,7 +107,8 @@ mod tests {
         let mut maintainer = MembershipMaintainer::new(5, 9);
         for _ in 0..20 {
             churn.step(&mut o, &[]).unwrap();
-            maintainer.repair(&mut o).unwrap();
+            let active = members(&o);
+            maintainer.repair(&mut o, &active).unwrap();
             assert!(o.graph().min_degree().unwrap() >= 5);
         }
     }
@@ -92,7 +117,10 @@ mod tests {
     fn repair_is_a_noop_on_a_healthy_overlay() {
         let mut o = overlay(200, 2);
         let before_edges = o.graph().edge_count();
-        let added = MembershipMaintainer::new(5, 1).repair(&mut o).unwrap();
+        let active = members(&o);
+        let added = MembershipMaintainer::new(5, 1)
+            .repair(&mut o, &active)
+            .unwrap();
         assert_eq!(added, 0);
         assert_eq!(o.graph().edge_count(), before_edges);
     }
@@ -106,7 +134,8 @@ mod tests {
             o.remove_peer(v).unwrap();
         }
         let mut maintainer = MembershipMaintainer::new(5, 4);
-        let added = maintainer.repair(&mut o).unwrap();
+        let active = members(&o);
+        let added = maintainer.repair(&mut o, &active).unwrap();
         assert!(added > 0);
         assert!(o.graph().min_degree().unwrap() >= 5);
         assert_eq!(maintainer.min_degree(), 5);
@@ -121,7 +150,8 @@ mod tests {
             o.remove_peer(v).unwrap();
         }
         let mut maintainer = MembershipMaintainer::new(5, 6);
-        maintainer.repair(&mut o).unwrap();
+        let active = members(&o);
+        maintainer.repair(&mut o, &active).unwrap();
         // Degree is capped by the number of other peers.
         for p in o.active_peers().collect::<Vec<_>>() {
             assert!(o.graph().degree(p) <= 2);

@@ -33,6 +33,7 @@
 //! as the baseline for `BENCH_period.json`.
 
 use crate::config::GossipConfig;
+use crate::directory::{sample_distinct, MembershipView, SampleScratch, ViewConfig};
 use crate::mem::{vec_bytes, MemUsage, MemoryFootprint};
 use crate::membership::MembershipMaintainer;
 use crate::peer::{NeighborInfo, PeerNode};
@@ -82,6 +83,13 @@ pub struct StreamingSystem {
     resolver: TransferResolver,
     churn: Option<ChurnModel>,
     membership: MembershipMaintainer,
+    /// This channel's slot in the cross-channel membership directory: the
+    /// incrementally maintained member/candidate view every admission path
+    /// (churn rejoin, zap batches, storms) and the repair pass read instead
+    /// of re-collecting `active_peers()`.
+    view: MembershipView,
+    /// Pooled churn working memory (eligible/left/joined/neighbour buffers).
+    churn_scratch: ChurnScratch,
 
     sources: Vec<PeerId>,
     /// Next segment id the live source will emit.
@@ -127,6 +135,13 @@ impl StreamingSystem {
             .collect();
         let min_degree = overlay.config().min_degree;
         let membership_seed = overlay.config().seed ^ 0x4d45_4d42;
+        let view = MembershipView::from_members(
+            ViewConfig {
+                candidate_bound: None,
+                seed: overlay.config().seed ^ 0x0D15_EC70,
+            },
+            overlay.active_peers(),
+        );
         StreamingSystem {
             config,
             overlay,
@@ -136,6 +151,8 @@ impl StreamingSystem {
             resolver: TransferResolver::new(),
             churn: None,
             membership: MembershipMaintainer::new(min_degree, membership_seed),
+            view,
+            churn_scratch: ChurnScratch::default(),
             sources: Vec::new(),
             next_emit: SegmentId(0),
             emit_credit: 0.0,
@@ -207,6 +224,19 @@ impl StreamingSystem {
     /// The session directory.
     pub fn directory(&self) -> &SessionDirectory {
         &self.directory
+    }
+
+    /// This channel's membership view — the directory slot other layers
+    /// (zap resolution, experiments) read candidates from.
+    pub fn membership_view(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// Reconfigures the membership view (e.g. installs a bounded candidate
+    /// list).  The view is rebuilt from the current membership; call before
+    /// the measured run for reproducible candidate lists.
+    pub fn configure_view(&mut self, config: ViewConfig) {
+        self.view = MembershipView::from_members(config, self.overlay.active_peers());
     }
 
     /// Current simulation time in seconds.
@@ -353,6 +383,7 @@ impl StreamingSystem {
             "sources cannot depart (peer {peer})"
         );
         self.overlay.remove_peer(peer)?;
+        self.view.on_depart(peer);
         if let Some(record) = self.switch_records.get_mut(peer as usize) {
             record.departed = true;
         }
@@ -370,6 +401,7 @@ impl StreamingSystem {
         neighbors: &[PeerId],
     ) -> Result<PeerId, OverlayError> {
         let id = self.overlay.add_peer(attrs, neighbors)?;
+        self.view.on_join(id);
         self.register_joined_peer(id);
         self.rejoin_at_neighbours(id);
         Ok(id)
@@ -413,6 +445,7 @@ impl StreamingSystem {
         let mut ids = Vec::with_capacity(arrivals.len());
         for (attrs, neighbors) in arrivals {
             let id = self.overlay.add_peer(*attrs, neighbors)?;
+            self.view.on_join(id);
             self.register_joined_peer(id);
             ids.push(id);
         }
@@ -423,6 +456,44 @@ impl StreamingSystem {
             self.repair_membership();
         }
         Ok(ids)
+    }
+
+    /// [`admit_batch`](Self::admit_batch) over flat, pooled buffers: arrival
+    /// `i` takes `neighbours[i * degree..(i + 1) * degree]` as its neighbour
+    /// set and its id is appended to `ids_out` (cleared first).  This is the
+    /// allocation-free admission shape the zap hot path uses — no per-arrival
+    /// `Vec` clone, no returned `Vec`.
+    ///
+    /// # Panics
+    /// Panics if `neighbours.len() != attrs.len() * degree`.
+    pub fn admit_batch_grouped(
+        &mut self,
+        attrs: &[PeerAttrs],
+        neighbours: &[PeerId],
+        degree: usize,
+        ids_out: &mut Vec<PeerId>,
+    ) -> Result<(), OverlayError> {
+        assert_eq!(
+            neighbours.len(),
+            attrs.len() * degree,
+            "flat neighbour buffer must hold `degree` entries per arrival"
+        );
+        ids_out.clear();
+        for (i, peer_attrs) in attrs.iter().enumerate() {
+            let id = self
+                .overlay
+                .add_peer(*peer_attrs, &neighbours[i * degree..(i + 1) * degree])?;
+            self.view.on_join(id);
+            self.register_joined_peer(id);
+            ids_out.push(id);
+        }
+        for &id in ids_out.iter() {
+            self.rejoin_at_neighbours(id);
+        }
+        if !ids_out.is_empty() {
+            self.repair_membership();
+        }
+        Ok(())
     }
 
     /// Allocates the protocol state of a peer the overlay just added.
@@ -453,7 +524,7 @@ impl StreamingSystem {
     /// call it once per batch of zap events.
     pub fn repair_membership(&mut self) {
         self.membership
-            .repair(&mut self.overlay)
+            .repair(&mut self.overlay, self.view.members())
             .expect("membership repair over valid overlay");
     }
 
@@ -581,25 +652,77 @@ impl StreamingSystem {
         }
     }
 
+    /// Per-period churn, routed through the membership directory: the
+    /// departure shuffle reads the view's member list, every joiner's
+    /// neighbour set is sampled from the view's candidate list (the same
+    /// admission pipeline zap batches use), and the view is kept in sync
+    /// event by event so later joiners can attach to earlier ones.
+    ///
+    /// RNG-compatible with the standalone `ChurnModel::step`: the view's
+    /// ascending-id member order is exactly the `active_peers()` collection
+    /// order the legacy path sampled from (asserted by the churn and
+    /// golden-report test-suites).
     fn apply_churn(&mut self) {
-        let Some(churn) = self.churn.as_mut() else {
-            return;
-        };
-        let event = churn
-            .step(&mut self.overlay, &self.sources)
-            .expect("churn over valid overlay");
-        for &left in &event.left {
+        {
+            let Some(churn) = self.churn.as_mut() else {
+                return;
+            };
+            let scratch = &mut self.churn_scratch;
+            let view = &mut self.view;
+            let overlay = &mut self.overlay;
+            debug_assert_eq!(view.len(), overlay.active_count());
+
+            let population = view.len();
+            churn
+                .step_departures(
+                    overlay,
+                    view.members(),
+                    &self.sources,
+                    &mut scratch.eligible,
+                    &mut scratch.left,
+                )
+                .expect("churn departures over valid overlay");
+            for &left in &scratch.left {
+                view.on_depart(left);
+            }
+
+            scratch.joined.clear();
+            let join_count = churn.join_count(population);
+            for _ in 0..join_count {
+                if view.is_empty() {
+                    break;
+                }
+                scratch.neighbours.clear();
+                let degree = churn.join_degree.min(view.candidates().len());
+                let neighbours = &mut scratch.neighbours;
+                let sampler = &mut scratch.sampler;
+                let attrs = churn.draw_arrival(|rng| {
+                    sample_distinct(view.candidates(), rng, degree, sampler, neighbours)
+                });
+                let id = overlay
+                    .add_peer(attrs, neighbours)
+                    .expect("churn joiner over valid overlay");
+                view.on_join(id);
+                scratch.joined.push(id);
+            }
+        }
+
+        for &left in &self.churn_scratch.left {
             if (left as usize) < self.switch_records.len() {
                 self.switch_records[left as usize].departed = true;
             }
         }
         // Joiners may neighbour each other within the same churn step, so
         // allocate all their protocol state first and only then compute join
-        // points from their neighbours' playback positions.
-        for &joined in &event.joined {
+        // points from their neighbours' playback positions.  (Indexed loops:
+        // register/rejoin take `&mut self`, which cannot overlap a borrow of
+        // the scratch's joined list.)
+        for i in 0..self.churn_scratch.joined.len() {
+            let joined = self.churn_scratch.joined[i];
             self.register_joined_peer(joined);
         }
-        for &joined in &event.joined {
+        for i in 0..self.churn_scratch.joined.len() {
+            let joined = self.churn_scratch.joined[i];
             self.rejoin_at_neighbours(joined);
         }
         self.repair_membership();
@@ -1024,18 +1147,40 @@ impl StreamingSystem {
 
 impl MemoryFootprint for StreamingSystem {
     /// The whole simulated process: every peer slot (including departed
-    /// peers, whose state stays allocated), the scratch arena, the switch
-    /// records and ratio samples.  Unlike [`SystemReport::mem`] this
-    /// depends on the configured parallelism (worker slots) and is *not*
-    /// surfaced in reports.
+    /// peers, whose state stays allocated), the scratch arena, the
+    /// membership view, the switch records and ratio samples.  Unlike
+    /// [`SystemReport::mem`] this depends on the configured parallelism
+    /// (worker slots) and is *not* surfaced in reports.
     fn heap_bytes(&self) -> usize {
         let peers: usize =
             vec_bytes(&self.peers) + self.peers.iter().map(|p| p.heap_bytes()).sum::<usize>();
         peers
             + self.scratch.heap_bytes()
+            + self.view.heap_bytes()
+            + self.churn_scratch.heap_bytes()
             + vec_bytes(&self.switch_records)
             + vec_bytes(&self.ratio_samples)
             + vec_bytes(&self.sources)
+    }
+}
+
+/// Pooled working memory of the directory-routed churn pass.
+#[derive(Debug, Default)]
+struct ChurnScratch {
+    eligible: Vec<PeerId>,
+    left: Vec<PeerId>,
+    joined: Vec<PeerId>,
+    neighbours: Vec<PeerId>,
+    sampler: SampleScratch,
+}
+
+impl MemoryFootprint for ChurnScratch {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.eligible)
+            + vec_bytes(&self.left)
+            + vec_bytes(&self.joined)
+            + vec_bytes(&self.neighbours)
+            + self.sampler.heap_bytes()
     }
 }
 
@@ -1123,7 +1268,7 @@ mod tests {
         }
         fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest> {
             let mut candidates = ctx.candidates.clone();
-            candidates.sort_by_key(|c| c.id);
+            crate::directory::sort_by_id(&mut candidates, |c| c.id);
             let mut load: std::collections::HashMap<fss_overlay::PeerId, usize> =
                 std::collections::HashMap::new();
             let mut requests = Vec::new();
@@ -1493,6 +1638,77 @@ mod tests {
         use crate::mem::MemoryFootprint;
         assert!(sys.heap_bytes() as u64 >= mem.peer_bytes);
         assert!(mem.ring_bytes + mem.window_bytes + mem.seq_bytes <= mem.peer_bytes);
+    }
+
+    /// The directory invariant: the membership view mirrors the overlay's
+    /// active set exactly — in ascending-id (`active_peers()`) order —
+    /// through churn, batched zaps and single-peer admits alike.
+    #[test]
+    fn membership_view_stays_in_sync_with_the_overlay() {
+        let mut sys = build_system(60, 19);
+        let (source, _) = first_two(&sys);
+        sys.start_initial_source(source);
+        let check = |sys: &StreamingSystem| {
+            let active: Vec<PeerId> = sys.overlay().active_peers().collect();
+            assert_eq!(sys.membership_view().members(), &active[..]);
+            assert_eq!(sys.membership_view().candidates(), &active[..]);
+        };
+        check(&sys);
+        sys.set_churn(ChurnModel::paper_default(3));
+        for _ in 0..15 {
+            sys.step();
+            check(&sys);
+        }
+        // Batched zap traffic keeps the view in sync too.
+        let leavers: Vec<PeerId> = sys
+            .overlay()
+            .active_peers()
+            .filter(|&p| p != source)
+            .take(5)
+            .collect();
+        sys.depart_batch(&leavers).unwrap();
+        check(&sys);
+        let attrs = *sys.overlay().attrs(source).unwrap();
+        let hosts: Vec<PeerId> = sys.overlay().active_peers().take(4).collect();
+        let mut flat = Vec::new();
+        for _ in 0..3 {
+            flat.extend_from_slice(&hosts);
+        }
+        let mut ids = Vec::new();
+        sys.admit_batch_grouped(&[attrs; 3], &flat, hosts.len(), &mut ids)
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        check(&sys);
+        sys.run_periods(5);
+        check(&sys);
+    }
+
+    /// A bounded (partial) view keeps its candidate list capped and live
+    /// while the member list stays exact.
+    #[test]
+    fn bounded_view_survives_churn() {
+        use crate::directory::ViewConfig;
+        let mut sys = build_system(80, 23);
+        let (source, _) = first_two(&sys);
+        sys.start_initial_source(source);
+        sys.configure_view(ViewConfig {
+            candidate_bound: Some(12),
+            seed: 5,
+        });
+        sys.set_churn(ChurnModel::paper_default(9));
+        for _ in 0..20 {
+            sys.step();
+            let view = sys.membership_view();
+            assert_eq!(view.len(), sys.overlay().active_count());
+            assert!(view.candidates().len() <= 12);
+            for &c in view.candidates() {
+                assert!(
+                    sys.overlay().graph().is_active(c),
+                    "candidate {c} is not live"
+                );
+            }
+        }
+        assert!(sys.membership_view().staleness() >= 0.0);
     }
 
     #[test]

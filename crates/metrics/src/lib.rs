@@ -13,6 +13,9 @@
 //!   multi-channel runtime (viewers hopping between concurrent streams),
 //! * [`zapload::ZapLoadSummary`] — the arrival skew across channels
 //!   realised by a popularity-skewed (Zipf / flash-crowd) zap workload,
+//! * [`admission::AdmissionSummary`] — queue depth, admission-delay
+//!   distribution and view staleness of the membership directory's
+//!   rate-limited admission pipeline,
 //! * [`mem::MemSummary`] — the per-peer memory footprint (bytes/peer,
 //!   ring / window / sequence breakdown) aggregated across systems,
 //! * [`timeseries::RatioTrack`] — the undelivered-`S1` / delivered-`S2`
@@ -24,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod mem;
 pub mod overhead;
 pub mod report;
@@ -32,6 +36,7 @@ pub mod switch;
 pub mod timeseries;
 pub mod zapload;
 
+pub use admission::AdmissionSummary;
 pub use mem::MemSummary;
 pub use overhead::OverheadSummary;
 pub use report::Table;

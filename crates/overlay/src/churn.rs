@@ -85,6 +85,13 @@ impl ChurnModel {
 
     /// Applies one period of churn.  `protected` peers (the sources) never
     /// leave.  Returns the ids that left and joined.
+    ///
+    /// Standalone variant: collects the candidate sets from the overlay
+    /// itself.  Callers that maintain an incremental membership view (the
+    /// gossip layer's directory) drive the decomposed halves —
+    /// [`step_departures`](Self::step_departures), [`join_count`](Self::join_count)
+    /// and [`draw_arrival`](Self::draw_arrival) — with the same RNG
+    /// consumption, so both paths produce identical churn.
     pub fn step(
         &mut self,
         overlay: &mut Overlay,
@@ -93,23 +100,11 @@ impl ChurnModel {
         let active: Vec<PeerId> = overlay.active_peers().collect();
         let population = active.len();
 
-        // --- departures -----------------------------------------------------
-        let mut eligible: Vec<PeerId> = active
-            .iter()
-            .copied()
-            .filter(|p| !protected.contains(p))
-            .collect();
-        eligible.shuffle(&mut self.rng);
-        let leave_count = ((population as f64) * self.leave_fraction).round() as usize;
-        let leave_count = leave_count.min(eligible.len());
-        let mut left = Vec::with_capacity(leave_count);
-        for p in eligible.into_iter().take(leave_count) {
-            overlay.remove_peer(p)?;
-            left.push(p);
-        }
+        let mut eligible = Vec::new();
+        let mut left = Vec::new();
+        self.step_departures(overlay, &active, protected, &mut eligible, &mut left)?;
 
-        // --- arrivals --------------------------------------------------------
-        let join_count = ((population as f64) * self.join_fraction).round() as usize;
+        let join_count = self.join_count(population);
         let mut joined = Vec::with_capacity(join_count);
         for _ in 0..join_count {
             let candidates: Vec<PeerId> = overlay.active_peers().collect();
@@ -117,20 +112,60 @@ impl ChurnModel {
                 break;
             }
             let degree = self.join_degree.min(candidates.len());
-            let neighbours: Vec<PeerId> = candidates
-                .choose_multiple(&mut self.rng, degree)
-                .copied()
-                .collect();
-            let ping = self.join_ping_median_ms * self.rng.gen_range(0.5..2.0);
-            let attrs = PeerAttrs {
-                ping_ms: ping,
-                bandwidth: self.bandwidth.sample_peer(&mut self.rng),
-            };
+            let mut neighbours = Vec::with_capacity(degree);
+            let attrs = self.draw_arrival(|rng| {
+                neighbours.extend(candidates.choose_multiple(rng, degree).copied())
+            });
             let id = overlay.add_peer(attrs, &neighbours)?;
             joined.push(id);
         }
 
         Ok(ChurnEvent { left, joined })
+    }
+
+    /// The departure half of one churn period: shuffles the eligible peers
+    /// (all of `members` except `protected`) and removes the leave-fraction
+    /// share of the population, appending the removed ids to `left`.
+    ///
+    /// `members` must list every active peer (callers with a membership
+    /// view pass its member list; [`step`](Self::step) collects it).  The
+    /// scratch vectors are cleared first and may be reused across calls.
+    pub fn step_departures(
+        &mut self,
+        overlay: &mut Overlay,
+        members: &[PeerId],
+        protected: &[PeerId],
+        eligible: &mut Vec<PeerId>,
+        left: &mut Vec<PeerId>,
+    ) -> Result<(), OverlayError> {
+        eligible.clear();
+        left.clear();
+        eligible.extend(members.iter().copied().filter(|p| !protected.contains(p)));
+        eligible.shuffle(&mut self.rng);
+        let leave_count = ((members.len() as f64) * self.leave_fraction).round() as usize;
+        let leave_count = leave_count.min(eligible.len());
+        for &p in eligible.iter().take(leave_count) {
+            overlay.remove_peer(p)?;
+            left.push(p);
+        }
+        Ok(())
+    }
+
+    /// How many peers join this period, given the pre-churn population.
+    pub fn join_count(&self, population: usize) -> usize {
+        ((population as f64) * self.join_fraction).round() as usize
+    }
+
+    /// Draws one arrival: `pick_neighbours` samples the neighbour set with
+    /// the model's RNG (first, matching the legacy draw order), then the
+    /// ping and bandwidth attributes are sampled.
+    pub fn draw_arrival(&mut self, pick_neighbours: impl FnOnce(&mut SmallRng)) -> PeerAttrs {
+        pick_neighbours(&mut self.rng);
+        let ping = self.join_ping_median_ms * self.rng.gen_range(0.5..2.0);
+        PeerAttrs {
+            ping_ms: ping,
+            bandwidth: self.bandwidth.sample_peer(&mut self.rng),
+        }
     }
 }
 
@@ -210,6 +245,55 @@ mod tests {
     #[should_panic(expected = "leave_fraction")]
     fn invalid_fraction_panics() {
         let _ = ChurnModel::new(1.5, 0.05, 5, 1);
+    }
+
+    /// The decomposed halves (used by the gossip layer's membership
+    /// directory) must consume the RNG exactly like the standalone
+    /// [`ChurnModel::step`]: identical leavers, identical joiner attach
+    /// sets, for the same seed.
+    #[test]
+    fn decomposed_halves_match_step_exactly() {
+        use rand::seq::SliceRandom;
+
+        let mut reference_overlay = overlay(150, 7);
+        let mut reference_churn = ChurnModel::paper_default(21);
+        let mut decomposed_overlay = overlay(150, 7);
+        let mut decomposed_churn = ChurnModel::paper_default(21);
+        let protected: Vec<PeerId> = reference_overlay.active_peers().take(1).collect();
+
+        let mut eligible = Vec::new();
+        let mut left = Vec::new();
+        for _ in 0..10 {
+            let reference_event = reference_churn
+                .step(&mut reference_overlay, &protected)
+                .unwrap();
+
+            let members: Vec<PeerId> = decomposed_overlay.active_peers().collect();
+            decomposed_churn
+                .step_departures(
+                    &mut decomposed_overlay,
+                    &members,
+                    &protected,
+                    &mut eligible,
+                    &mut left,
+                )
+                .unwrap();
+            assert_eq!(left, reference_event.left);
+
+            let join_count = decomposed_churn.join_count(members.len());
+            let mut joined = Vec::new();
+            for _ in 0..join_count {
+                let candidates: Vec<PeerId> = decomposed_overlay.active_peers().collect();
+                let degree = decomposed_churn.join_degree.min(candidates.len());
+                let mut neighbours = Vec::new();
+                let attrs = decomposed_churn.draw_arrival(|rng| {
+                    neighbours.extend(candidates.choose_multiple(rng, degree).copied())
+                });
+                joined.push(decomposed_overlay.add_peer(attrs, &neighbours).unwrap());
+            }
+            assert_eq!(joined, reference_event.joined);
+        }
+        assert_eq!(reference_overlay, decomposed_overlay);
     }
 
     #[test]

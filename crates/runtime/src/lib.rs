@@ -43,5 +43,7 @@ pub mod session;
 pub mod zap;
 
 pub use pool::WorkerPool;
-pub use session::{ChannelReport, RuntimeReport, SessionConfig, SessionManager, SteppingMode};
+pub use session::{
+    AdmissionControl, ChannelReport, RuntimeReport, SessionConfig, SessionManager, SteppingMode,
+};
 pub use zap::{ZapSchedule, ZapWorkload};

@@ -50,15 +50,18 @@
 
 use crate::pool::WorkerPool;
 use crate::zap::{ZapBatch, ZapSchedule, ZapWorkload};
-use fss_gossip::{GossipConfig, SegmentScheduler, StreamingSystem, TrafficCounters};
-use fss_metrics::{MemSummary, ZapLoadSummary, ZapSummary};
+use fss_gossip::{
+    AdmissionPipeline, AdmissionScratch, GossipConfig, SegmentScheduler, StreamingSystem,
+    TrafficCounters, ViewConfig,
+};
+use fss_metrics::{AdmissionSummary, MemSummary, ZapLoadSummary, ZapSummary};
 use fss_overlay::{BandwidthConfig, ChurnModel, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
 use fss_sim::exec::DisjointSlots;
 use fss_trace::{GeneratorConfig, TraceGenerator};
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Configuration of a multi-channel session.
@@ -80,6 +83,49 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Protocol parameters shared by all channels.
     pub gossip: GossipConfig,
+    /// Membership-directory admission control (rate-limited join queue and
+    /// bounded candidate views).  The default reproduces the legacy
+    /// admit-everything-at-the-boundary behaviour exactly.
+    pub admission: AdmissionControl,
+}
+
+/// Admission-control knobs of the membership directory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AdmissionControl {
+    /// Per-channel cap on zap arrivals admitted per period boundary.  `None`
+    /// (the default) admits every arrival at its batch boundary — the
+    /// legacy behaviour, byte-identical to the pre-directory runtime.
+    /// `Some(k)` routes arrivals through a FIFO join queue drained at up to
+    /// `k` per boundary, so flash crowds admit over several boundaries.
+    pub max_admits_per_period: Option<usize>,
+    /// Bound on each channel's sampled candidate list (a CliqueStream-style
+    /// partial view).  `None` (the default) hands newcomers the full
+    /// membership.
+    pub view_bound: Option<usize>,
+}
+
+impl AdmissionControl {
+    /// The legacy behaviour: unlimited admissions, exact views.
+    pub fn unlimited() -> Self {
+        AdmissionControl {
+            max_admits_per_period: None,
+            view_bound: None,
+        }
+    }
+
+    /// Rate-limits admissions to `k` per channel per period boundary.
+    pub fn rate_limited(k: usize) -> Self {
+        AdmissionControl {
+            max_admits_per_period: Some(k),
+            view_bound: None,
+        }
+    }
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        Self::unlimited()
+    }
 }
 
 impl SessionConfig {
@@ -93,6 +139,7 @@ impl SessionConfig {
             min_degree: 5,
             seed: 0x5A50_0001,
             gossip: GossipConfig::paper_default(),
+            admission: AdmissionControl::unlimited(),
         }
     }
 
@@ -115,6 +162,17 @@ impl SessionConfig {
         }
         if self.zap_degree == 0 {
             return Err("zap_degree must be positive".into());
+        }
+        if self.admission.max_admits_per_period == Some(0) {
+            return Err("max_admits_per_period must be positive (use None to disable)".into());
+        }
+        if let Some(bound) = self.admission.view_bound {
+            if bound < self.zap_degree {
+                return Err(format!(
+                    "view_bound {bound} cannot hand out {} neighbours per arrival",
+                    self.zap_degree
+                ));
+            }
         }
         self.gossip.validate().map_err(|e| e.to_string())
     }
@@ -150,9 +208,21 @@ struct PendingZap {
     joined_period: u64,
 }
 
+/// A zap arrival waiting in a channel's rate-limited admission queue: its
+/// attributes are fixed (drawn from the batch's RNG stream when it was
+/// requested) but it is not yet an overlay member — its neighbour set is
+/// sampled from the live directory view at admission time.
+#[derive(Debug, Clone, Copy)]
+struct QueuedArrival {
+    attrs: PeerAttrs,
+    /// Boundary at which the arrival asked to join (zap latency and
+    /// admission delay are both measured from here).
+    requested_period: u64,
+}
+
 /// One hosted channel: a streaming system plus its zap bookkeeping.  All
-/// fields are channel-local, so a pool chunk may advance one channel (steps
-/// plus harvesting) without observing any other.
+/// fields are channel-local, so a pool chunk may advance one channel (steps,
+/// admission-queue drains, harvesting) without observing any other.
 struct Channel {
     system: StreamingSystem,
     source: PeerId,
@@ -168,17 +238,129 @@ struct Channel {
     zaps_abandoned: usize,
     /// Arrivals whose playback has not started yet.
     pending: Vec<PendingZap>,
+
+    // --- rate-limited admission (active when `admit_limit` is set) -------
+    /// Per-boundary admission cap (`config.admission.max_admits_per_period`).
+    admit_limit: Option<usize>,
+    /// Neighbours sampled per admitted arrival (`config.zap_degree`).
+    zap_degree: usize,
+    /// FIFO of arrivals waiting for an admission slot.
+    queue: VecDeque<QueuedArrival>,
+    /// Channel-local RNG stream of queue-drain neighbour sampling — drains
+    /// happen at deterministic channel-local boundaries, so the stream is
+    /// identical in barrier and pipelined mode.
+    admission_rng: SmallRng,
+    /// Admission delays (seconds) of every arrival admitted via the queue,
+    /// including zero-delay same-boundary admissions.
+    admission_delays: Vec<f64>,
+    /// Deepest the queue has run.
+    max_queue_depth: usize,
+    /// Queue depth observed after the drain at each boundary (index =
+    /// period), recorded only while the limiter is active.
+    queue_depth_by_period: Vec<usize>,
+    /// Pooled buffers of the drain path.
+    admit_scratch: AdmissionScratch,
+}
+
+/// The arrival-attribute draw shared by both admission branches of
+/// `apply_batch` — the arrival population (ping, bandwidth) must not depend
+/// on whether admissions are rate-limited.
+fn draw_zap_attrs(bandwidth: BandwidthConfig, rng: &mut SmallRng) -> PeerAttrs {
+    PeerAttrs {
+        ping_ms: 80.0 * rng.gen_range(0.5..2.0),
+        bandwidth: bandwidth.sample_peer(rng),
+    }
+}
+
+/// The admission tail shared by the immediate zap path and the queue drain:
+/// for each of `count` arrivals, samples a neighbour set from `system`'s
+/// live candidate view and obtains the arrival's `(attrs, request period)`
+/// from `next` — in that order, so the immediate path's per-arrival RNG
+/// stream (neighbours, then attributes) is preserved — then admits the
+/// whole group through one batched membership repair and registers its
+/// pending-zap tracking.  The admitted ids and request stamps stay in
+/// `scratch` for the caller's accounting.
+fn admit_arrivals(
+    system: &mut StreamingSystem,
+    pending: &mut Vec<PendingZap>,
+    scratch: &mut AdmissionScratch,
+    zap_degree: usize,
+    count: usize,
+    rng: &mut SmallRng,
+    mut next: impl FnMut(&mut SmallRng) -> (PeerAttrs, u64),
+) {
+    let pipeline = AdmissionPipeline;
+    let degree = zap_degree.min(system.membership_view().candidates().len());
+    for _ in 0..count {
+        pipeline.sample_neighbours(system.membership_view(), degree, rng, scratch);
+        let (attrs, requested_period) = next(rng);
+        scratch.attrs.push(attrs);
+        scratch.requested.push(requested_period);
+    }
+    let AdmissionScratch {
+        attrs,
+        neighbours,
+        requested,
+        admitted,
+        ..
+    } = scratch;
+    system
+        .admit_batch_grouped(attrs, neighbours, degree, admitted)
+        .expect("zap arrivals join an active channel");
+    for (i, &viewer) in admitted.iter().enumerate() {
+        pending.push(PendingZap {
+            viewer,
+            joined_period: requested[i],
+        });
+    }
 }
 
 impl Channel {
-    /// Advances the channel to `target` periods, harvesting zap latencies
-    /// after every step.  Channel-local: safe to run as a pool chunk.
+    /// Advances the channel to `target` periods, draining its admission
+    /// queue at every boundary and harvesting zap latencies after every
+    /// step.  Channel-local: safe to run as a pool chunk.
     fn advance_to(&mut self, target: u64, tau: f64) {
         while self.period < target {
+            self.drain_admissions(tau);
             self.system.step();
             self.period += 1;
             self.harvest(tau);
         }
+    }
+
+    /// Admits up to `admit_limit` queued arrivals at the current boundary:
+    /// neighbour sets are sampled from the live directory view with the
+    /// channel's own RNG stream, the group is admitted through one batched
+    /// membership repair, and each arrival's admission delay (request
+    /// boundary → now) is recorded.  A no-op unless rate limiting is on.
+    fn drain_admissions(&mut self, tau: f64) {
+        let Some(limit) = self.admit_limit else {
+            return;
+        };
+        let boundary = self.period;
+        let take = limit.min(self.queue.len());
+        if take > 0 {
+            let scratch = &mut self.admit_scratch;
+            scratch.clear();
+            let queue = &mut self.queue;
+            admit_arrivals(
+                &mut self.system,
+                &mut self.pending,
+                scratch,
+                self.zap_degree,
+                take,
+                &mut self.admission_rng,
+                |_| {
+                    let arrival = queue.pop_front().expect("take <= queue length");
+                    (arrival.attrs, arrival.requested_period)
+                },
+            );
+            for &requested in &scratch.requested {
+                self.admission_delays
+                    .push((boundary - requested) as f64 * tau);
+            }
+        }
+        self.queue_depth_by_period.push(self.queue.len());
     }
 
     /// Completes pending zaps whose playback has started and retires
@@ -251,6 +433,10 @@ pub struct RuntimeReport {
     /// peers' protocol state — a pure function of the simulated history,
     /// so it cannot break mode/pool-size report equivalence).
     pub mem: MemSummary,
+    /// Membership-directory admission metrics: queue depth, admission-delay
+    /// distribution and candidate-view staleness.  Structurally zero when
+    /// admission control is off (the default).
+    pub admission: AdmissionSummary,
 }
 
 impl RuntimeReport {
@@ -278,6 +464,9 @@ pub struct SessionManager {
     period: u64,
     /// Global zap-batch emission counter (seeds per-batch RNG streams).
     batch_counter: u64,
+    /// Pooled zap-batch resolution buffers — batches are applied serially
+    /// on the manager thread, so one scratch serves every channel pair.
+    zap_scratch: AdmissionScratch,
 }
 
 impl SessionManager {
@@ -319,6 +508,12 @@ impl SessionManager {
                 let mut system = StreamingSystem::new(overlay, config.gossip, scheduler());
                 system.set_executor(pool.as_executor());
                 system.start_initial_source(source);
+                if let Some(bound) = config.admission.view_bound {
+                    system.configure_view(ViewConfig {
+                        candidate_bound: Some(bound),
+                        seed: channel_seed ^ 0x0B0D_B0D0,
+                    });
+                }
                 Channel {
                     system,
                     source,
@@ -328,6 +523,14 @@ impl SessionManager {
                     arrival_latencies: Vec::new(),
                     zaps_abandoned: 0,
                     pending: Vec::new(),
+                    admit_limit: config.admission.max_admits_per_period,
+                    zap_degree: config.zap_degree,
+                    queue: VecDeque::new(),
+                    admission_rng: SmallRng::seed_from_u64(channel_seed ^ 0x0AD3_170A),
+                    admission_delays: Vec::new(),
+                    max_queue_depth: 0,
+                    queue_depth_by_period: Vec::new(),
+                    admit_scratch: AdmissionScratch::default(),
                 }
             })
             .collect();
@@ -346,6 +549,7 @@ impl SessionManager {
             channels,
             period: 0,
             batch_counter: 0,
+            zap_scratch: AdmissionScratch::default(),
         }
     }
 
@@ -484,10 +688,12 @@ impl SessionManager {
             .enumerate()
             .map(|(index, channel)| {
                 // "Pending" covers every arrival that never reached
-                // playback: still waiting, or departed again first
-                // (abandoned) — so `zaps_in == zap_latency.zaps()` and the
-                // completion rate honestly penalizes failed zaps.
-                let unresolved = channel.pending.len() + channel.zaps_abandoned;
+                // playback: still waiting (in the overlay or in the
+                // admission queue), or departed again first (abandoned) —
+                // so `zaps_in == zap_latency.zaps()` and the completion
+                // rate honestly penalizes failed zaps.
+                let unresolved =
+                    channel.pending.len() + channel.zaps_abandoned + channel.queue.len();
                 ChannelReport {
                     channel: index,
                     viewers: channel.system.overlay().active_count(),
@@ -503,7 +709,7 @@ impl SessionManager {
         let mut unresolved = 0;
         for channel in &self.channels {
             all.extend_from_slice(&channel.arrival_latencies);
-            unresolved += channel.pending.len() + channel.zaps_abandoned;
+            unresolved += channel.pending.len() + channel.zaps_abandoned + channel.queue.len();
         }
         let arrivals: Vec<usize> = self.channels.iter().map(|c| c.zaps_in).collect();
         let usages: Vec<fss_gossip::MemUsage> = self
@@ -511,6 +717,25 @@ impl SessionManager {
             .iter()
             .map(|c| c.system.memory_usage())
             .collect();
+        let staleness: Vec<f64> = self
+            .channels
+            .iter()
+            .map(|c| c.system.membership_view().staleness())
+            .collect();
+        let admission = if self.config.admission.max_admits_per_period.is_some() {
+            let mut delays: Vec<f64> = Vec::new();
+            let mut still_queued = 0;
+            let mut max_queue_depth = 0;
+            for channel in &self.channels {
+                delays.extend_from_slice(&channel.admission_delays);
+                still_queued += channel.queue.len();
+                max_queue_depth = max_queue_depth.max(channel.max_queue_depth);
+            }
+            AdmissionSummary::from_parts(true, &delays, still_queued, max_queue_depth, &staleness)
+        } else {
+            let admitted: usize = self.channels.iter().map(|c| c.zaps_in).sum();
+            AdmissionSummary::pass_through(admitted, &staleness)
+        };
         RuntimeReport {
             periods: self.period,
             workload: self.schedule.name(),
@@ -518,6 +743,7 @@ impl SessionManager {
             cross_channel_zaps: ZapSummary::from_latencies(&all, unresolved),
             zap_load: ZapLoadSummary::from_arrivals(&arrivals),
             mem: MemSummary::from_usages(&usages),
+            admission,
         }
     }
 
@@ -690,12 +916,19 @@ impl SessionManager {
         }
     }
 
-    /// Resolves and applies one zap batch: picks the concrete viewers from
-    /// the source channel, departs them (one batched membership repair),
-    /// admits them into the target channel (ditto) and registers their
-    /// pending-zap tracking.  All randomness comes from the batch's own RNG
-    /// stream, so the outcome depends only on the two endpoint channels'
-    /// states at the shared boundary.
+    /// Resolves and applies one zap batch through the membership directory:
+    /// picks the concrete viewers from the origin channel's view, departs
+    /// them (one batched membership repair), then either admits them into
+    /// the target channel immediately (ditto) or enqueues them on its
+    /// rate-limited admission queue.  All randomness comes from the batch's
+    /// own RNG stream, so the outcome depends only on the two endpoint
+    /// channels' states at the shared boundary.
+    ///
+    /// Allocation-free in steady state: every buffer lives in the pooled
+    /// [`AdmissionScratch`] (enforced by the `zap_admission` counting-
+    /// allocator test in `fss-bench`), and the directory's incremental
+    /// views replace the per-batch `active_peers()` collections of the
+    /// pre-directory runtime.
     fn apply_batch(&mut self, planned: PlannedBatch) {
         let ZapBatch {
             period,
@@ -711,75 +944,98 @@ impl SessionManager {
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(planned.index + 1))
                 ^ 0x0BA7_0CAD,
         );
+        let pipeline = AdmissionPipeline;
+        let scratch = &mut self.zap_scratch;
+        scratch.clear();
         let (origin, target) = pair_mut(&mut self.channels, from, to);
 
-        // Departures: any active viewer except the source and same-boundary
-        // arrivals (a viewer cannot zap twice at one boundary).
-        let eligible: Vec<PeerId> = origin
-            .system
-            .overlay()
-            .active_peers()
-            .filter(|&p| p != origin.source)
-            .filter(|&p| {
-                !origin
-                    .pending
-                    .iter()
-                    .any(|zap| zap.viewer == p && zap.joined_period == period)
-            })
-            .collect();
-        // Live survival floor, mirroring the schedule's modelled
-        // MIN_CHANNEL_POPULATION (source + 1): the schedule plans against
-        // its own population model, but concurrent churn, clamped earlier
-        // batches or a custom `ZapSchedule` can leave the live channel
-        // smaller than modelled — and a plan-sized take would then drain
-        // it to source-only membership.  Keep at least one non-source peer
-        // behind; same-boundary arrivals count as staying (they are
-        // present, merely ineligible to move again this boundary).
-        let non_source_present = origin.system.overlay().active_count() - 1;
-        let floor_reserve = usize::from(non_source_present == eligible.len());
-        let quota = eligible.len().saturating_sub(floor_reserve);
-        let movers: Vec<PeerId> = eligible
-            .choose_multiple(&mut rng, viewers.min(quota))
-            .copied()
-            .collect();
-        if movers.is_empty() {
+        // Departures: any member except the source and same-boundary
+        // arrivals (a viewer cannot zap twice at one boundary).  The
+        // pipeline also enforces the live survival floor, mirroring the
+        // schedule's modelled MIN_CHANNEL_POPULATION (source + 1): the
+        // schedule plans against its own population model, but concurrent
+        // churn, clamped earlier batches or a custom `ZapSchedule` can
+        // leave the live channel smaller than modelled — and a plan-sized
+        // take would then drain it to source-only membership.
+        {
+            let pending = &origin.pending;
+            pipeline.select_movers(
+                origin.system.membership_view(),
+                origin.source,
+                |p| {
+                    pending
+                        .iter()
+                        .any(|zap| zap.viewer == p && zap.joined_period == period)
+                },
+                viewers,
+                &mut rng,
+                scratch,
+            );
+        }
+        if scratch.movers.is_empty() {
             return;
         }
         origin
             .system
-            .depart_batch(&movers)
+            .depart_batch(&scratch.movers)
             .expect("zapping viewers are active non-sources");
-        origin.zaps_out += movers.len();
+        origin.zaps_out += scratch.movers.len();
+        let mover_count = scratch.movers.len();
 
-        // Arrivals: attach to `zap_degree` random peers of the target
-        // channel and follow their playback steps (the churn-join rule).
-        let candidates: Vec<PeerId> = target.system.overlay().active_peers().collect();
-        let degree = zap_degree.min(candidates.len());
-        let arrivals: Vec<(PeerAttrs, Vec<PeerId>)> = movers
-            .iter()
-            .map(|_| {
-                let neighbours: Vec<PeerId> = candidates
-                    .choose_multiple(&mut rng, degree)
-                    .copied()
-                    .collect();
-                let attrs = PeerAttrs {
-                    ping_ms: 80.0 * rng.gen_range(0.5..2.0),
-                    bandwidth: bandwidth.sample_peer(&mut rng),
-                };
-                (attrs, neighbours)
-            })
-            .collect();
-        let ids = target
-            .system
-            .admit_batch(&arrivals)
-            .expect("zap arrivals join an active channel");
-        target.zaps_in += ids.len();
-        for viewer in ids {
-            target.pending.push(PendingZap {
-                viewer,
-                joined_period: period,
-            });
+        if target.admit_limit.is_none() {
+            // Immediate admission (the default): attach each arrival to
+            // `zap_degree` random members of the target channel's view and
+            // follow their playback steps (the churn-join rule).  The view's
+            // candidate list is frozen for the whole batch — arrivals do not
+            // neighbour each other — because admission happens after every
+            // neighbour set is sampled.
+            admit_arrivals(
+                &mut target.system,
+                &mut target.pending,
+                scratch,
+                zap_degree,
+                mover_count,
+                &mut rng,
+                |rng| (draw_zap_attrs(bandwidth, rng), period),
+            );
+            target.zaps_in += scratch.admitted.len();
+        } else {
+            // Rate-limited admission: the arrival's identity (attributes) is
+            // fixed from the batch stream now, but it only becomes a member
+            // when the target channel's queue drain grants it a slot — its
+            // neighbour set is sampled *then*, from the then-live view.
+            for _ in 0..mover_count {
+                target.queue.push_back(QueuedArrival {
+                    attrs: draw_zap_attrs(bandwidth, &mut rng),
+                    requested_period: period,
+                });
+            }
+            target.zaps_in += mover_count;
+            target.max_queue_depth = target.max_queue_depth.max(target.queue.len());
         }
+    }
+
+    /// Total admission-queue depth across channels after the drain at each
+    /// period boundary (empty unless `max_admits_per_period` is set).  The
+    /// timeline is deterministic across stepping modes and pool sizes, like
+    /// the report.
+    pub fn queue_depth_timeline(&self) -> Vec<(u64, usize)> {
+        let periods = self
+            .channels
+            .iter()
+            .map(|c| c.queue_depth_by_period.len())
+            .max()
+            .unwrap_or(0);
+        (0..periods)
+            .map(|p| {
+                let depth = self
+                    .channels
+                    .iter()
+                    .map(|c| c.queue_depth_by_period.get(p).copied().unwrap_or(0))
+                    .sum();
+                (p as u64, depth)
+            })
+            .collect()
     }
 }
 
@@ -980,6 +1236,152 @@ mod tests {
         assert_eq!(report.periods, 25);
     }
 
+    /// Satellite determinism sweep: with the rate-limited admission queue
+    /// *and* bounded candidate views active, under churn and a flash-crowd
+    /// storm, reports and queue-depth timelines stay byte-identical across
+    /// pool sizes and stepping modes — directory updates are the only
+    /// cross-channel synchronisation points, and they happen at the same
+    /// boundaries regardless of execution strategy.
+    #[test]
+    fn rate_limited_admission_is_deterministic_across_modes_and_pools() {
+        let run = |workers: usize, mode: SteppingMode| {
+            let config = SessionConfig {
+                seed: 29,
+                admission: AdmissionControl {
+                    max_admits_per_period: Some(6),
+                    view_bound: Some(16),
+                },
+                ..SessionConfig::paper_default(4, 40)
+            };
+            let mut m = SessionManager::new(config, Arc::new(WorkerPool::new(workers)), || {
+                Box::new(FastSwitchScheduler::new())
+            });
+            m.set_zap_schedule(Box::new(CrowdZap::zipf(4, 40, 0.03, 1.1, 29).with_storms(
+                vec![Storm {
+                    at: 30,
+                    target: 1,
+                    size: 40,
+                }],
+            )));
+            m.enable_channel_churn(3);
+            m.set_mode(mode);
+            m.warmup(25);
+            m.run_periods(30);
+            (m.report(), m.queue_depth_timeline())
+        };
+        let (reference, reference_timeline) = run(1, SteppingMode::Barrier);
+        assert!(reference.admission.rate_limited);
+        assert!(reference.total_zaps() > 0);
+        for workers in [1, 2, 4, 7] {
+            for run_ahead in [1, 4, 8] {
+                let (report, timeline) = run(workers, SteppingMode::Pipelined { run_ahead });
+                assert_eq!(report, reference, "workers={workers} run_ahead={run_ahead}");
+                assert_eq!(timeline, reference_timeline, "timeline workers={workers}");
+            }
+            let (report, timeline) = run(workers, SteppingMode::Barrier);
+            assert_eq!(report, reference, "barrier workers={workers}");
+            assert_eq!(timeline, reference_timeline);
+        }
+    }
+
+    /// The queue semantics: a flash crowd larger than the per-boundary cap
+    /// admits over several boundaries — deferred arrivals, a non-trivial
+    /// queue-depth timeline, and admission delays in the summary — while
+    /// every arrival is still accounted for in the zap statistics.
+    #[test]
+    fn admission_queue_spreads_a_flash_crowd_over_boundaries() {
+        let run = |limit: Option<usize>| {
+            let config = SessionConfig {
+                seed: 33,
+                admission: AdmissionControl {
+                    max_admits_per_period: limit,
+                    view_bound: None,
+                },
+                ..SessionConfig::paper_default(3, 50)
+            };
+            let mut m = SessionManager::new(config, Arc::new(WorkerPool::new(2)), || {
+                Box::new(FastSwitchScheduler::new())
+            });
+            m.set_workload(ZapWorkload::FlashCrowd {
+                target: 1,
+                at: 25,
+                size: 60,
+            });
+            m.warmup(20);
+            m.run_periods(30);
+            (m.report(), m.queue_depth_timeline())
+        };
+
+        let (unlimited, unlimited_timeline) = run(None);
+        assert!(!unlimited.admission.rate_limited);
+        assert_eq!(unlimited.admission.deferred, 0);
+        assert_eq!(unlimited.admission.max_queue_depth, 0);
+        assert!(unlimited_timeline.is_empty(), "no limiter, no timeline");
+
+        let (limited, timeline) = run(Some(8));
+        assert!(limited.admission.rate_limited);
+        // Both runs observe the same storm...
+        assert_eq!(limited.total_zaps(), unlimited.total_zaps());
+        // ...but the limited one queues most of it at the storm boundary.
+        assert!(
+            limited.admission.max_queue_depth >= 40,
+            "storm must overflow the 8-per-boundary cap: {:?}",
+            limited.admission
+        );
+        assert!(limited.admission.deferred > 0);
+        assert!(limited.admission.avg_delay_secs > 0.0);
+        assert!(limited.admission.max_delay_secs >= limited.admission.p95_delay_secs);
+        // The queue drains over the following boundaries and ends empty.
+        assert_eq!(limited.admission.still_queued, 0);
+        assert_eq!(limited.admission.admitted, limited.total_zaps());
+        let peak = timeline.iter().map(|&(_, d)| d).max().unwrap();
+        assert!(peak >= 40);
+        assert_eq!(timeline.last().unwrap().1, 0, "queue must fully drain");
+        // Accounting: every arrival is completed, pending or abandoned.
+        for c in &limited.channels {
+            assert_eq!(c.zaps_in, c.zap_latency.zaps());
+        }
+        // Deferred admission delays playback: the storm channel's zap
+        // latency cannot beat the unlimited run's.
+        assert!(
+            limited.cross_channel_zaps.avg_startup_secs
+                >= unlimited.cross_channel_zaps.avg_startup_secs - 1e-9
+        );
+    }
+
+    /// A still-loaded queue at the horizon shows up as `still_queued` and
+    /// keeps the zap accounting honest (queued arrivals are unresolved).
+    #[test]
+    fn arrivals_still_queued_at_the_horizon_stay_accounted() {
+        let config = SessionConfig {
+            seed: 41,
+            admission: AdmissionControl::rate_limited(1),
+            ..SessionConfig::paper_default(3, 40)
+        };
+        let mut m = SessionManager::new(config, Arc::new(WorkerPool::new(2)), || {
+            Box::new(FastSwitchScheduler::new())
+        });
+        m.set_workload(ZapWorkload::FlashCrowd {
+            target: 0,
+            at: 21,
+            size: 50,
+        });
+        m.warmup(20);
+        m.run_periods(5);
+        let report = m.report();
+        assert!(report.admission.still_queued > 0);
+        assert_eq!(
+            report.admission.requested(),
+            report.total_zaps(),
+            "every requested arrival is a zap"
+        );
+        let zaps_in: usize = report.channels.iter().map(|c| c.zaps_in).sum();
+        assert_eq!(report.total_zaps(), zaps_in);
+        for c in &report.channels {
+            assert_eq!(c.zaps_in, c.zap_latency.zaps());
+        }
+    }
+
     #[test]
     fn pool_reuse_across_sessions_leaks_no_state() {
         let pool = Arc::new(WorkerPool::new(3));
@@ -1041,5 +1443,29 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(SessionConfig {
+            admission: AdmissionControl::rate_limited(0),
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SessionConfig {
+            admission: AdmissionControl {
+                max_admits_per_period: None,
+                view_bound: Some(2), // < zap_degree 5
+            },
+            ..good
+        }
+        .validate()
+        .is_err());
+        SessionConfig {
+            admission: AdmissionControl {
+                max_admits_per_period: Some(4),
+                view_bound: Some(8),
+            },
+            ..good
+        }
+        .validate()
+        .unwrap();
     }
 }

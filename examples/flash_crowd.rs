@@ -9,6 +9,12 @@
 //! channels), which is byte-identical to barrier stepping; the example
 //! runs both modes and reports the wall-clock for each.
 //!
+//! The example then re-runs the same workload with the membership
+//! directory's storm-time admission control enabled
+//! (`max_admits_per_period = 16`): the crowd queues at the target channel
+//! and admits over several boundaries — the queue-depth timeline and the
+//! admission-delay distribution are printed.
+//!
 //! ```text
 //! cargo run --release --example flash_crowd
 //! ```
@@ -16,7 +22,7 @@
 use fast_source_switching::experiments::Algorithm;
 use fast_source_switching::runtime::zap::{CrowdZap, Storm};
 use fast_source_switching::runtime::{
-    RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool,
+    AdmissionControl, RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,9 +32,21 @@ const VIEWERS_PER_CHANNEL: usize = 100;
 const WARMUP: u64 = 40;
 const MEASURE: u64 = 80;
 const STORM_SIZE: usize = 120;
+const ADMITS_PER_PERIOD: usize = 16;
 
 fn run(pool: &Arc<WorkerPool>, mode: SteppingMode) -> (RuntimeReport, std::time::Duration) {
-    let config = SessionConfig::paper_default(CHANNELS, VIEWERS_PER_CHANNEL);
+    run_with(pool, mode, AdmissionControl::unlimited()).0
+}
+
+fn run_with(
+    pool: &Arc<WorkerPool>,
+    mode: SteppingMode,
+    admission: AdmissionControl,
+) -> ((RuntimeReport, std::time::Duration), Vec<(u64, usize)>) {
+    let config = SessionConfig {
+        admission,
+        ..SessionConfig::paper_default(CHANNELS, VIEWERS_PER_CHANNEL)
+    };
     let mut manager = SessionManager::new(config, Arc::clone(pool), || Algorithm::Fast.scheduler());
     manager.set_zap_schedule(Box::new(
         CrowdZap::zipf(
@@ -49,7 +67,7 @@ fn run(pool: &Arc<WorkerPool>, mode: SteppingMode) -> (RuntimeReport, std::time:
     manager.warmup(WARMUP);
     manager.run_periods(MEASURE);
     let elapsed = start.elapsed();
-    (manager.report(), elapsed)
+    ((manager.report(), elapsed), manager.queue_depth_timeline())
 }
 
 fn main() {
@@ -103,4 +121,49 @@ fn main() {
         "wall-clock: pipelined {:.2?} vs barrier {:.2?} (identical reports)",
         pipelined_secs, barrier_secs
     );
+
+    // --- storm-time admission control ---------------------------------
+    println!();
+    println!(
+        "re-running with admission control: each channel admits at most \
+         {ADMITS_PER_PERIOD} zap arrivals per period boundary"
+    );
+    let ((limited, _), timeline) = run_with(
+        &pool,
+        SteppingMode::pipelined(),
+        AdmissionControl::rate_limited(ADMITS_PER_PERIOD),
+    );
+    let a = &limited.admission;
+    println!(
+        "admissions: {} arrivals ({} deferred >=1 boundary, {} still queued), \
+         delay avg {:.2}s / p95 {:.2}s / max {:.2}s, peak queue {}",
+        a.admitted,
+        a.deferred,
+        a.still_queued,
+        a.avg_delay_secs,
+        a.p95_delay_secs,
+        a.max_delay_secs,
+        a.max_queue_depth
+    );
+    println!(
+        "zap latency with the queue: avg {:.2}s vs {:.2}s unlimited (queue wait included)",
+        limited.cross_channel_zaps.avg_startup_secs, z.avg_startup_secs
+    );
+
+    // Queue-depth timeline around the storm boundary (zero elsewhere).
+    println!();
+    println!("queue-depth timeline (period: total queued, # = 4 viewers):");
+    let storm_at = (WARMUP + MEASURE / 2) as usize;
+    for &(period, depth) in timeline
+        .iter()
+        .skip(storm_at.saturating_sub(2))
+        .take_while(|&&(p, d)| (p as usize) < storm_at + 2 || d > 0)
+    {
+        println!(
+            "  {:>5}: {:>3}  {}",
+            period,
+            depth,
+            "#".repeat(depth.div_ceil(4))
+        );
+    }
 }
