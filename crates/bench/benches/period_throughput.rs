@@ -110,6 +110,53 @@ fn bench_memory_footprint(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `period/1m` + `mem/1m` lanes: one full scheduling period and the
+/// footprint meter on a **million-peer** sharded system.  Gated behind
+/// `FSS_BENCH_1M=1` — the warm-up alone streams 70 periods over a ~4.6 GB
+/// working set, which is minutes of wall clock; the default bench run
+/// skips it.  The recorded figures live in `BENCH_period.json`
+/// (`period/1m`, `mem/1m`).
+fn bench_million_peers(c: &mut Criterion) {
+    if std::env::var_os("FSS_BENCH_1M").is_none() {
+        return;
+    }
+    const MILLION: usize = 1_000_000;
+    let trace = TraceGenerator::new(GeneratorConfig::sized(MILLION, 1)).generate("throughput-1m");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.set_shards(16);
+    sys.start_initial_source(source);
+    sys.run_periods(70);
+
+    let mem = sys.report().mem;
+    println!(
+        "mem/1m: {:.0} B/peer, {:.2} GB of peer state over {} shards \
+         (legacy layout {:.2} GB; reduction {:.1}%)",
+        mem.bytes_per_peer(),
+        mem.peer_bytes as f64 / 1e9,
+        sys.shard_count(),
+        mem.legacy_peer_bytes as f64 / 1e9,
+        100.0 * mem.reduction_vs_legacy()
+    );
+
+    let mut group = c.benchmark_group("period");
+    group.sample_size(10);
+    group.bench_function("optimized_period_1m_sharded", |b| b.iter(|| sys.step()));
+    group.finish();
+
+    let mut group = c.benchmark_group("mem");
+    group.sample_size(10);
+    group.bench_function("usage_sweep_1m", |b| {
+        b.iter(|| criterion::black_box(sys.memory_usage()))
+    });
+    group.finish();
+}
+
 /// The `zap_admission/*` lane: what one zap batch (12 movers out, 12
 /// arrivals in, `M = 5` neighbours each) costs to *resolve* on a steady
 /// 1k-node channel pair.
@@ -264,6 +311,7 @@ criterion_group!(
     benches,
     bench_period_throughput,
     bench_memory_footprint,
+    bench_million_peers,
     bench_zap_admission
 );
 criterion_main!(benches);

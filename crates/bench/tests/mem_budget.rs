@@ -69,3 +69,45 @@ fn steady_state_bytes_per_peer_within_budget() {
     assert!(mem.ring_bytes > 0 && mem.window_bytes > 0 && mem.seq_bytes > 0);
     assert!(sys.report().traffic_total.data_bits > 0);
 }
+
+/// The large-scale guard: the same ≤ 6 KiB/peer budget must hold at 100 000
+/// peers on the sharded struct-of-arrays store — per-peer state must not
+/// grow with the population, and sharding the columns must not add
+/// overhead beyond the shards' own reserve slack.  Run in release mode by
+/// the CI bench-smoke lane (`cargo test --release -- --ignored`); ignored
+/// in the default suite because a debug-mode 100k-peer warm-up takes
+/// minutes.
+#[test]
+#[ignore = "large-scale run: 100k peers to steady state (run with --release)"]
+fn sharded_100k_bytes_per_peer_within_budget() {
+    let trace =
+        TraceGenerator::new(GeneratorConfig::sized(100_000, 35)).generate("mem-budget-100k");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.set_shards(16);
+    assert!(sys.shard_count() > 1, "the store must actually be sharded");
+    sys.start_initial_source(source);
+    sys.run_periods(80);
+
+    let mem = sys.report().mem;
+    assert_eq!(mem.active_peers, 100_000);
+    let per_peer = mem.bytes_per_peer();
+    println!(
+        "steady-state 100k-node sharded footprint: {per_peer:.0} B/peer \
+         ({:.1} MB of peer state, {:.1}% below the legacy layout)",
+        mem.peer_bytes as f64 / 1e6,
+        100.0 * mem.reduction_vs_legacy()
+    );
+    assert!(
+        per_peer <= BYTES_PER_PEER_BUDGET,
+        "100k-peer sharded footprint {per_peer:.0} B/peer exceeds the \
+         documented budget of {BYTES_PER_PEER_BUDGET:.0} B/peer ({mem:?})"
+    );
+    assert!(mem.reduction_vs_legacy() >= MIN_REDUCTION_VS_LEGACY);
+    assert!(sys.report().traffic_total.data_bits > 0);
+}

@@ -165,6 +165,96 @@ fn steady_state_zap_batch_resolution_does_not_allocate() {
     assert!(produced > 0, "the batches actually resolved work");
 }
 
+/// The sharded struct-of-arrays store keeps the guarantee: with the peer
+/// columns split over multiple shards the scheduling pass runs one chunk
+/// per shard (serially without the `parallel` feature), and the chunk plan
+/// lives in the pooled `PeriodScratch` — steady-state periods still touch
+/// the heap zero times.
+#[test]
+fn sharded_steady_state_period_loop_does_not_allocate() {
+    let trace = TraceGenerator::new(GeneratorConfig::sized(300, 23)).generate("zero-alloc-shard");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.set_shards(4);
+    assert!(sys.shard_count() > 1, "the store must actually be sharded");
+    sys.start_initial_source(source);
+
+    sys.run_periods(80);
+
+    let before = allocations();
+    sys.run_periods(20);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "sharded steady-state periods allocated {during} times; \
+         the chunk plan and shard columns must be allocation-free"
+    );
+
+    let report = sys.report();
+    assert_eq!(report.periods, 100);
+    assert!(report.traffic_total.data_bits > 0);
+}
+
+/// The streaming metric path: recording samples into a
+/// [`fss_metrics::QuantileSketch`], merging sketches (the cross-channel
+/// report fold) and deriving the summary all run on fixed-size bucket
+/// arrays — zero heap after construction.
+#[test]
+fn sketch_record_merge_and_fold_do_not_allocate() {
+    use fss_metrics::{QuantileSketch, ZapSummary};
+
+    let mut local = QuantileSketch::new(1.0);
+    let mut merged = QuantileSketch::new(1.0);
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        local.record((i % 97) as f64);
+    }
+    merged.merge_from(&local);
+    merged.merge_from(&local);
+    let summary = ZapSummary::from_sketch(&merged, 7);
+    let p50 = merged.quantile(0.5);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "sketch record/merge/fold allocated {during} times; \
+         the fixed bucket arrays must absorb everything"
+    );
+    assert_eq!(summary.completed, 20_000);
+    assert!(p50 >= 0.0);
+}
+
+/// The percentile regression fix: `Summary::quantile` used to clone and
+/// sort the sample on **every** call.  [`fss_metrics::SortedSample`] sorts
+/// once at construction; repeated quantile queries must not allocate.
+#[test]
+fn sorted_sample_quantile_does_not_allocate_per_call() {
+    use fss_metrics::{SortedSample, Summary};
+
+    let values: Vec<f64> = (0..5_000).rev().map(|v| (v % 311) as f64).collect();
+    let sorted = SortedSample::from_values(&values);
+
+    let before = allocations();
+    let mut acc = 0.0;
+    for i in 0..1_000 {
+        acc += sorted.quantile(i as f64 / 1_000.0);
+        acc += Summary::of(&values).mean;
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "quantile/summary queries allocated {during} times; \
+         sort-once means query-many for free"
+    );
+    assert!(acc > 0.0);
+}
+
 /// The same guarantee for the pool-backed parallel path: dispatching the
 /// scheduling sweep onto the persistent `fss-runtime` worker pool (raw
 /// job pointer under a mutex, chunk-stealing cursor, condvar parking) must

@@ -7,8 +7,9 @@
 //!   *same* workload,
 //! * [`sweep`] — parallel sweeps over network sizes (chunks on the
 //!   persistent `fss-runtime` worker pool, one simulation per chunk),
-//! * [`memory`] — steady-state bytes/peer measurements and the 50k-peer
-//!   large-population scenario the compact per-peer layout enables,
+//! * [`memory`] — steady-state bytes/peer measurements, the 50k-peer
+//!   large-population scenario the compact per-peer layout enables, and the
+//!   million-viewer multi-channel capstone on the sharded peer store,
 //! * [`zapping`] — the multi-channel channel-zapping workload (viewers
 //!   hopping between concurrent streams) and its sweeps: channel count,
 //!   Zipf popularity skew, flash-crowd storm size, and the membership
@@ -29,8 +30,9 @@ pub mod sweep;
 pub mod zapping;
 
 pub use memory::{
-    measure_memory, run_large_population, sweep_memory, LargePopulationReport, MemoryPoint,
-    MemoryScenario, LARGE_POPULATION_NODES,
+    measure_memory, run_large_population, run_million_viewers, sweep_memory, LargePopulationReport,
+    MemoryPoint, MemoryScenario, MillionReport, MillionScenario, LARGE_POPULATION_NODES,
+    MILLION_VIEWERS,
 };
 pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};

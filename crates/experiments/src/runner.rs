@@ -117,7 +117,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         nodes: config.nodes,
         algorithm: config.algorithm,
         environment: config.environment,
-        switch: SwitchSummary::from_records(&report.switch_records),
+        switch: SwitchSummary::from_stats(&report.switch),
         overhead: OverheadSummary::from_traffic(&report.traffic_switch_window),
         ratio_track: RatioTrack::from_samples(&report.ratio_samples),
         completed: report.switch_completed_secs.is_some(),

@@ -32,6 +32,9 @@
 //!   [`directory::AdmissionPipeline`] + sampler every join path draws its
 //!   partners from (see `docs/architecture.md`),
 //! * [`peer`] — per-node protocol state and context construction,
+//! * [`store`] — struct-of-arrays sharded peer storage: dense contiguous
+//!   peer-id shards owning their peers' state as parallel columns, the
+//!   chunk unit of the parallel scheduling pass (see `docs/performance.md`),
 //! * [`stats`] — traffic counters, switch records and ratio samples,
 //! * [`mem`] — the [`mem::MemoryFootprint`] accounting trait and the
 //!   per-peer byte meter surfaced in reports (see `docs/performance.md`),
@@ -55,6 +58,7 @@ pub mod scheduler;
 pub mod scratch;
 pub mod segment;
 pub mod stats;
+pub mod store;
 pub mod system;
 pub mod transfer;
 
@@ -70,6 +74,7 @@ pub use scheduler::{
     SessionView, StreamClass, SupplierInfo,
 };
 pub use segment::{SegmentId, Session, SessionDirectory, SourceId};
-pub use stats::{RatioSample, SwitchRecord, TrafficCounters};
+pub use stats::{MilestoneStat, RatioSample, SwitchRecord, SwitchStats, TrafficCounters};
+pub use store::{PeerMut, PeerRef, PeerShard, PeerStore};
 pub use system::{StreamingSystem, SystemReport};
 pub use transfer::{CapacityModel, DeliveredSegment, RequestBatch, TransferResolver};

@@ -1,10 +1,21 @@
 //! Per-node protocol state.
 //!
-//! A [`PeerNode`] owns a node's buffer and playback state, tracks which
-//! serial sessions the node has *discovered* (§3: "a node does not know the
-//! source switch process until it discovers data segments of a new source in
-//! its neighbors"), and builds the [`SchedulingContext`] handed to the switch
-//! algorithm each period.
+//! A [`PeerNode`] is the *logical* per-peer record: a node's buffer and
+//! playback state, the count of serial sessions the node has *discovered*
+//! (§3: "a node does not know the source switch process until it discovers
+//! data segments of a new source in its neighbors"), and the
+//! [`SchedulingContext`] construction handed to the switch algorithm each
+//! period.
+//!
+//! Since the struct-of-arrays refactor the running system no longer stores
+//! `PeerNode` values — the record's four fields live as parallel columns
+//! inside the sharded [`PeerStore`](crate::store::PeerStore), and the
+//! protocol logic is shared with the store's [`PeerRef`](crate::store::PeerRef)
+//! / [`PeerMut`](crate::store::PeerMut) views through the free functions of
+//! this module.  `PeerNode` remains the construction currency (churn
+//! joiners, zap arrivals), the standalone unit-test surface for the
+//! protocol rules, and the definition of the per-peer inline stride the
+//! memory meter reports.
 
 use crate::buffer::FifoBuffer;
 use crate::config::GossipConfig;
@@ -90,38 +101,25 @@ impl PeerNode {
     /// is at or below `observed_max`, in serial order.  Sources call this with
     /// their own session's first segment when they start emitting.
     pub fn discover_sessions(&mut self, directory: &SessionDirectory, observed_max: SegmentId) {
-        let sessions = directory.sessions();
-        while self.known_sessions < sessions.len()
-            && sessions[self.known_sessions].first_segment <= observed_max
-        {
-            self.known_sessions += 1;
-        }
+        discover_sessions(&mut self.known_sessions, directory, observed_max);
     }
 
     /// The sessions this node currently knows about.
     pub fn known<'d>(&self, directory: &'d SessionDirectory) -> &'d [Session] {
-        &directory.sessions()[..self.known_sessions.min(directory.len())]
+        known_slice(self.known_sessions, directory)
     }
 
     /// Undelivered segments of `session` that the node still needs, i.e. ids
     /// in `[max(id_play, first), end]` missing from its buffer.  `end` falls
     /// back to `fallback_end` for a live session.
     pub fn undelivered_in_session(&self, session: &Session, fallback_end: SegmentId) -> usize {
-        let end = session.last_segment.unwrap_or(fallback_end);
-        let start = self.id_play().max(session.first_segment);
-        if end < start {
-            return 0;
-        }
-        let span = (end.value() - start.value() + 1) as usize;
-        span - self.buffer.count_in_range(start, end)
+        undelivered_in_session(&self.buffer, self.id_play(), session, fallback_end)
     }
 
     /// `Q2` for a new session: how many of its first `Qs` segments are still
     /// missing.
     pub fn q2_for(&self, session: &Session, qs: usize) -> usize {
-        let first = session.first_segment;
-        let last = first.offset(qs as u64 - 1);
-        qs - self.buffer.count_in_range(first, last)
+        q2_for(&self.buffer, session, qs)
     }
 
     /// True when the node holds all of the first `Qs` segments of `session`.
@@ -138,114 +136,14 @@ impl PeerNode {
         inbound_rate: f64,
         neighbors: &[NeighborInfo<'_>],
     ) -> Option<SchedulingContext> {
-        if neighbors.is_empty() || inbound_rate <= 0.0 {
-            return None;
-        }
-        let known = self.known(directory);
-        if known.is_empty() {
-            return None;
-        }
-
-        // The "old" stream is the one the node is currently playing; the
-        // "new" stream is the next discovered session it has not reached yet.
-        let id_play = self.id_play();
-        let current_idx = known
-            .iter()
-            .rposition(|s| s.first_segment <= id_play)
-            .unwrap_or(0);
-        let current = &known[current_idx];
-        let next = known.get(current_idx + 1);
-
-        let max_advertised = neighbors
-            .iter()
-            .filter_map(|n| n.buffer.max_id())
-            .max()
-            .unwrap_or(SegmentId(0));
-
-        // Needed ids of the current stream.
-        let current_end = current
-            .last_segment
-            .unwrap_or(max_advertised)
-            .min(max_advertised);
-        let window_cap = 2 * config.buffer_capacity as u64;
-        let current_start = self
-            .id_play()
-            .max(current.first_segment)
-            .max(SegmentId(current_end.value().saturating_sub(window_cap)));
-        let mut needed: Vec<SegmentId> = if current_end >= current_start {
-            self.buffer.missing_in_range(current_start, current_end)
-        } else {
-            Vec::new()
-        };
-
-        // Needed ids of the next (new-source) stream, if discovered.
-        if let Some(next) = next {
-            let next_end = next
-                .last_segment
-                .unwrap_or(max_advertised)
-                .min(max_advertised);
-            if next_end >= next.first_segment {
-                needed.extend(self.buffer.missing_in_range(next.first_segment, next_end));
-            }
-        }
-        if needed.is_empty() {
-            return None;
-        }
-
-        // Gather suppliers: one scan of each neighbour's buffer.
-        let mut candidates: Vec<CandidateSegment> = needed
-            .iter()
-            .map(|&id| CandidateSegment {
-                id,
-                suppliers: Vec::new(),
-            })
-            .collect();
-        for n in neighbors {
-            let positions = n.buffer.positions_of(&needed);
-            for (candidate, position) in candidates.iter_mut().zip(positions) {
-                if let Some(position) = position {
-                    candidate.suppliers.push(SupplierInfo {
-                        peer: n.peer,
-                        rate: n.outbound_rate,
-                        buffer_position: position,
-                        buffer_capacity: n.buffer.capacity(),
-                    });
-                }
-            }
-        }
-        candidates.retain(|c| !c.suppliers.is_empty());
-        if candidates.is_empty() {
-            return None;
-        }
-
-        let (old_session, new_session, q1, q2) = match next {
-            Some(next) => (
-                Some(session_view(current)),
-                Some(session_view(next)),
-                self.undelivered_in_session(current, max_advertised),
-                self.q2_for(next, config.new_source_qs),
-            ),
-            None => (
-                Some(session_view(current)),
-                None,
-                self.undelivered_in_session(current, max_advertised),
-                0,
-            ),
-        };
-
-        Some(SchedulingContext {
-            tau_secs: config.tau_secs,
-            play_rate: config.play_rate,
+        build_context(
+            &self.buffer,
+            self.id_play(),
+            self.known(directory),
+            config,
             inbound_rate,
-            id_play,
-            startup_q: config.startup_q,
-            new_source_qs: config.new_source_qs,
-            old_session,
-            new_session,
-            q1,
-            q2,
-            candidates,
-        })
+            neighbors,
+        )
     }
 
     /// Advances playback by one period.
@@ -256,34 +154,222 @@ impl PeerNode {
     /// played — playback is sequential).  Returns the number of segments
     /// played.
     pub fn advance_playback(&mut self, config: &GossipConfig, directory: &SessionDirectory) -> u64 {
-        self.playback.try_start(&self.buffer, config.startup_q);
-        if !self.playback.has_started() {
-            return 0;
-        }
-        self.play_credit += config.play_per_period();
-        let budget = self.play_credit.floor() as u64;
-        if budget == 0 {
-            return 0;
-        }
-        self.play_credit -= budget as f64;
-
-        // Gate: the first discovered *new* session (one that started after the
-        // node joined) that the node has not yet begun playing and whose first
-        // `Qs` segments are not all present caps playback at its first
-        // segment.  The session the node joined on is instead governed by the
-        // Q-consecutive startup rule above.
-        let limit = self
-            .known(directory)
-            .iter()
-            .filter(|s| {
-                s.first_segment > self.playback.join_point()
-                    && s.first_segment >= self.playback.next_play()
-            })
-            .find(|s| !self.prepared_for(s, config.new_source_qs))
-            .map(|s| s.first_segment);
-
-        self.playback.advance(&self.buffer, budget, limit)
+        let known = known_slice(self.known_sessions, directory);
+        advance_playback(
+            &self.buffer,
+            &mut self.playback,
+            &mut self.play_credit,
+            known,
+            config,
+        )
     }
+
+    /// Decomposes the record into its columns, in
+    /// [`PeerStore`](crate::store::PeerStore) column order: buffer, playback,
+    /// known-session count, playback credit.
+    pub(crate) fn into_parts(self) -> (FifoBuffer, PlaybackState, usize, f64) {
+        (
+            self.buffer,
+            self.playback,
+            self.known_sessions,
+            self.play_credit,
+        )
+    }
+}
+
+/// [`PeerNode::discover_sessions`] over a bare known-session counter.
+pub(crate) fn discover_sessions(
+    known_sessions: &mut usize,
+    directory: &SessionDirectory,
+    observed_max: SegmentId,
+) {
+    let sessions = directory.sessions();
+    while *known_sessions < sessions.len()
+        && sessions[*known_sessions].first_segment <= observed_max
+    {
+        *known_sessions += 1;
+    }
+}
+
+/// [`PeerNode::known`] over a bare known-session counter.
+pub(crate) fn known_slice(known_sessions: usize, directory: &SessionDirectory) -> &[Session] {
+    &directory.sessions()[..known_sessions.min(directory.len())]
+}
+
+/// [`PeerNode::undelivered_in_session`] over bare columns.
+pub(crate) fn undelivered_in_session(
+    buffer: &FifoBuffer,
+    id_play: SegmentId,
+    session: &Session,
+    fallback_end: SegmentId,
+) -> usize {
+    let end = session.last_segment.unwrap_or(fallback_end);
+    let start = id_play.max(session.first_segment);
+    if end < start {
+        return 0;
+    }
+    let span = (end.value() - start.value() + 1) as usize;
+    span - buffer.count_in_range(start, end)
+}
+
+/// [`PeerNode::q2_for`] over a bare buffer column.
+pub(crate) fn q2_for(buffer: &FifoBuffer, session: &Session, qs: usize) -> usize {
+    let first = session.first_segment;
+    let last = first.offset(qs as u64 - 1);
+    qs - buffer.count_in_range(first, last)
+}
+
+/// [`PeerNode::build_context`] over bare columns (the known-session prefix is
+/// resolved by the caller).
+pub(crate) fn build_context(
+    buffer: &FifoBuffer,
+    id_play: SegmentId,
+    known: &[Session],
+    config: &GossipConfig,
+    inbound_rate: f64,
+    neighbors: &[NeighborInfo<'_>],
+) -> Option<SchedulingContext> {
+    if neighbors.is_empty() || inbound_rate <= 0.0 {
+        return None;
+    }
+    if known.is_empty() {
+        return None;
+    }
+
+    // The "old" stream is the one the node is currently playing; the
+    // "new" stream is the next discovered session it has not reached yet.
+    let current_idx = known
+        .iter()
+        .rposition(|s| s.first_segment <= id_play)
+        .unwrap_or(0);
+    let current = &known[current_idx];
+    let next = known.get(current_idx + 1);
+
+    let max_advertised = neighbors
+        .iter()
+        .filter_map(|n| n.buffer.max_id())
+        .max()
+        .unwrap_or(SegmentId(0));
+
+    // Needed ids of the current stream.
+    let current_end = current
+        .last_segment
+        .unwrap_or(max_advertised)
+        .min(max_advertised);
+    let window_cap = 2 * config.buffer_capacity as u64;
+    let current_start = id_play
+        .max(current.first_segment)
+        .max(SegmentId(current_end.value().saturating_sub(window_cap)));
+    let mut needed: Vec<SegmentId> = if current_end >= current_start {
+        buffer.missing_in_range(current_start, current_end)
+    } else {
+        Vec::new()
+    };
+
+    // Needed ids of the next (new-source) stream, if discovered.
+    if let Some(next) = next {
+        let next_end = next
+            .last_segment
+            .unwrap_or(max_advertised)
+            .min(max_advertised);
+        if next_end >= next.first_segment {
+            needed.extend(buffer.missing_in_range(next.first_segment, next_end));
+        }
+    }
+    if needed.is_empty() {
+        return None;
+    }
+
+    // Gather suppliers: one scan of each neighbour's buffer.
+    let mut candidates: Vec<CandidateSegment> = needed
+        .iter()
+        .map(|&id| CandidateSegment {
+            id,
+            suppliers: Vec::new(),
+        })
+        .collect();
+    for n in neighbors {
+        let positions = n.buffer.positions_of(&needed);
+        for (candidate, position) in candidates.iter_mut().zip(positions) {
+            if let Some(position) = position {
+                candidate.suppliers.push(SupplierInfo {
+                    peer: n.peer,
+                    rate: n.outbound_rate,
+                    buffer_position: position,
+                    buffer_capacity: n.buffer.capacity(),
+                });
+            }
+        }
+    }
+    candidates.retain(|c| !c.suppliers.is_empty());
+    if candidates.is_empty() {
+        return None;
+    }
+
+    let (old_session, new_session, q1, q2) = match next {
+        Some(next) => (
+            Some(session_view(current)),
+            Some(session_view(next)),
+            undelivered_in_session(buffer, id_play, current, max_advertised),
+            q2_for(buffer, next, config.new_source_qs),
+        ),
+        None => (
+            Some(session_view(current)),
+            None,
+            undelivered_in_session(buffer, id_play, current, max_advertised),
+            0,
+        ),
+    };
+
+    Some(SchedulingContext {
+        tau_secs: config.tau_secs,
+        play_rate: config.play_rate,
+        inbound_rate,
+        id_play,
+        startup_q: config.startup_q,
+        new_source_qs: config.new_source_qs,
+        old_session,
+        new_session,
+        q1,
+        q2,
+        candidates,
+    })
+}
+
+/// [`PeerNode::advance_playback`] over bare columns (the known-session prefix
+/// is resolved by the caller).
+pub(crate) fn advance_playback(
+    buffer: &FifoBuffer,
+    playback: &mut PlaybackState,
+    play_credit: &mut f64,
+    known: &[Session],
+    config: &GossipConfig,
+) -> u64 {
+    playback.try_start(buffer, config.startup_q);
+    if !playback.has_started() {
+        return 0;
+    }
+    *play_credit += config.play_per_period();
+    let budget = play_credit.floor() as u64;
+    if budget == 0 {
+        return 0;
+    }
+    *play_credit -= budget as f64;
+
+    // Gate: the first discovered *new* session (one that started after the
+    // node joined) that the node has not yet begun playing and whose first
+    // `Qs` segments are not all present caps playback at its first
+    // segment.  The session the node joined on is instead governed by the
+    // Q-consecutive startup rule above.
+    let limit = known
+        .iter()
+        .filter(|s| {
+            s.first_segment > playback.join_point() && s.first_segment >= playback.next_play()
+        })
+        .find(|s| q2_for(buffer, s, config.new_source_qs) != 0)
+        .map(|s| s.first_segment);
+
+    playback.advance(buffer, budget, limit)
 }
 
 impl MemoryFootprint for PeerNode {

@@ -32,9 +32,9 @@
 
 use crate::config::GossipConfig;
 use crate::mem::{vec_bytes, MemoryFootprint};
-use crate::peer::PeerNode;
 use crate::scheduler::{CandidateSegment, SchedulerScratch, SchedulingContext, SupplierInfo};
 use crate::segment::{SegmentId, SessionDirectory};
+use crate::store::{PeerRef, PeerStore};
 use crate::transfer::{DeliveredSegment, RequestBatch};
 use fss_overlay::PeerId;
 
@@ -97,9 +97,9 @@ impl WorkerScratch {
         &mut self,
         start: SegmentId,
         end: SegmentId,
-        own: &PeerNode,
+        own: PeerRef<'_>,
         neighbors: &[PeerId],
-        peers: &[PeerNode],
+        store: &PeerStore,
         outbound_rate: &[f64],
     ) {
         if end < start {
@@ -125,7 +125,7 @@ impl WorkerScratch {
             *need = mask & !own.buffer().availability_word(word_base);
         }
         for &n in neighbors {
-            let buffer = peers[n as usize].buffer();
+            let buffer = store.buffer(n);
             if buffer.is_empty() {
                 continue;
             }
@@ -141,7 +141,7 @@ impl WorkerScratch {
                 bits &= bits - 1;
                 let mut suppliers = self.supplier_pool.pop().unwrap_or_default();
                 for &n in neighbors {
-                    let buffer = peers[n as usize].buffer();
+                    let buffer = store.buffer(n);
                     if let Some(position) = buffer.position_from_tail(SegmentId(id)) {
                         suppliers.push(SupplierInfo {
                             peer: n,
@@ -167,12 +167,12 @@ impl WorkerScratch {
     #[allow(clippy::too_many_arguments)]
     pub fn build_context(
         &mut self,
-        node: &PeerNode,
+        node: PeerRef<'_>,
         config: &GossipConfig,
         directory: &SessionDirectory,
         inbound_rate: f64,
         neighbors: &[PeerId],
-        peers: &[PeerNode],
+        store: &PeerStore,
         outbound_rate: &[f64],
     ) -> bool {
         self.clear_candidates();
@@ -194,7 +194,7 @@ impl WorkerScratch {
 
         let max_advertised = neighbors
             .iter()
-            .filter_map(|&n| peers[n as usize].buffer().max_id())
+            .filter_map(|&n| store.buffer(n).max_id())
             .max()
             .unwrap_or(SegmentId(0));
 
@@ -216,7 +216,7 @@ impl WorkerScratch {
                 current_end,
                 node,
                 neighbors,
-                peers,
+                store,
                 outbound_rate,
             );
         }
@@ -231,7 +231,7 @@ impl WorkerScratch {
                     next_end,
                     node,
                     neighbors,
-                    peers,
+                    store,
                     outbound_rate,
                 );
             }
@@ -315,6 +315,7 @@ impl MemoryFootprint for PeriodScratch {
             + vec_bytes(&self.outbound_rate)
             + vec_bytes(&self.inbound_rate)
             + vec_bytes(&self.outbound_budget)
+            + vec_bytes(&self.chunks)
             + vec_bytes(&self.batches)
             + vec_bytes(&self.request_pool)
             + vec_bytes(&self.deliveries)
@@ -345,6 +346,10 @@ pub struct PeriodScratch {
     pub inbound_rate: Vec<f64>,
     /// Dense per-peer whole-segment outbound budget for the period.
     pub outbound_budget: Vec<usize>,
+    /// Chunk plan of the scheduling pass: `(start, end)` index ranges into
+    /// `active`, one per chunk.  With a sharded store the chunks follow the
+    /// shard boundaries; a single-shard store falls back to even slices.
+    pub chunks: Vec<(usize, usize)>,
     /// The merged request batches, in node order.
     pub batches: Vec<RequestBatch>,
     /// Recycled request vectors (refilled from delivered batches).

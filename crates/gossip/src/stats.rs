@@ -82,6 +82,140 @@ impl SwitchRecord {
     }
 }
 
+/// Streaming moments of one switch milestone over the countable nodes:
+/// count, sum, min and max — everything the paper's averages and worst
+/// cases need, in 32 bytes instead of a per-peer vector.
+///
+/// Values are folded in ascending peer-id order (the order the legacy
+/// per-peer record vector was aggregated in), so the derived mean is
+/// bitwise identical to the historical collect-into-`Vec` path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MilestoneStat {
+    /// Number of nodes that reached the milestone.
+    pub count: usize,
+    /// Sum of the milestone values, folded in peer-id order.
+    pub sum: f64,
+    /// Smallest recorded value (0 when no node reached the milestone).
+    pub min: f64,
+    /// Largest recorded value (0 when no node reached the milestone).
+    pub max: f64,
+}
+
+impl Default for MilestoneStat {
+    fn default() -> Self {
+        MilestoneStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl MilestoneStat {
+    /// Folds one observation in.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the recorded values (0 when empty, matching the legacy
+    /// `Summary::of` empty-sample convention).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+}
+
+/// O(1)-memory aggregate of the per-peer [`SwitchRecord`]s — what
+/// [`SystemReport`](crate::system::SystemReport) carries instead of a
+/// per-peer vector, so report size no longer scales with the population.
+///
+/// Built by one serial ascending-id pass over the system's internal
+/// records; every derived figure (averages, maxima, completion counts) is
+/// bitwise identical to aggregating the full record vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Nodes that were present at the switch and did not depart.
+    pub countable_nodes: usize,
+    /// Countable nodes that completed the switch (finished `S1` and
+    /// prepared `S2`).
+    pub completed_nodes: usize,
+    /// Seconds to finish the old source's playback, over the countable
+    /// nodes that reached that milestone.
+    pub finish_old_secs: MilestoneStat,
+    /// Seconds to gather the first `Qs` segments of the new source (the
+    /// paper's preparing time = switch time).
+    pub prepare_new_secs: MilestoneStat,
+    /// Seconds at which playback of the new source actually started.
+    pub start_new_secs: MilestoneStat,
+    /// Undelivered old-source backlog at switch time (`Q0`), over all
+    /// countable nodes.
+    pub q0: MilestoneStat,
+}
+
+impl SwitchStats {
+    /// Aggregates per-node records in slice (= ascending peer-id) order.
+    pub fn from_records(records: &[SwitchRecord]) -> SwitchStats {
+        let mut stats = SwitchStats::default();
+        for record in records {
+            if !record.countable() {
+                continue;
+            }
+            stats.countable_nodes += 1;
+            if record.completed() {
+                stats.completed_nodes += 1;
+            }
+            if let Some(secs) = record.s1_finished_secs {
+                stats.finish_old_secs.record(secs);
+            }
+            if let Some(secs) = record.s2_prepared_secs {
+                stats.prepare_new_secs.record(secs);
+            }
+            if let Some(secs) = record.s2_started_secs {
+                stats.start_new_secs.record(secs);
+            }
+            stats.q0.record(record.q0 as f64);
+        }
+        stats
+    }
+
+    /// Fraction of countable nodes that completed the switch.
+    pub fn completion_rate(&self) -> f64 {
+        if self.countable_nodes == 0 {
+            0.0
+        } else {
+            self.completed_nodes as f64 / self.countable_nodes as f64
+        }
+    }
+}
+
 /// One per-period sample of the two ratio tracks of Figures 5 and 9.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RatioSample {
@@ -139,6 +273,43 @@ mod tests {
 
         let absent = SwitchRecord::default();
         assert!(!absent.countable());
+    }
+
+    #[test]
+    fn switch_stats_aggregate_matches_manual_fold() {
+        let mut records = vec![SwitchRecord::default(); 5];
+        for (i, r) in records.iter_mut().enumerate().take(4) {
+            r.present_at_switch = true;
+            r.q0 = 10 * (i + 1);
+            r.s1_finished_secs = Some(2.0 * (i + 1) as f64);
+            if i < 3 {
+                r.s2_prepared_secs = Some(3.0 * (i + 1) as f64);
+                r.s2_started_secs = Some(4.0 * (i + 1) as f64);
+            }
+        }
+        records[2].departed = true; // excluded entirely
+
+        let stats = SwitchStats::from_records(&records);
+        assert_eq!(stats.countable_nodes, 3);
+        assert_eq!(stats.completed_nodes, 2);
+        assert_eq!(stats.finish_old_secs.count, 3);
+        assert!((stats.finish_old_secs.mean() - (2.0 + 4.0 + 8.0) / 3.0).abs() < 1e-12);
+        assert_eq!(stats.finish_old_secs.max_or_zero(), 8.0);
+        assert_eq!(stats.prepare_new_secs.count, 2);
+        assert!((stats.prepare_new_secs.mean() - 4.5).abs() < 1e-12);
+        assert_eq!(stats.q0.count, 3);
+        assert!((stats.q0.mean() - (10.0 + 20.0 + 40.0) / 3.0).abs() < 1e-12);
+        assert!((stats.completion_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_switch_stats_report_zeros() {
+        let stats = SwitchStats::from_records(&[]);
+        assert_eq!(stats.countable_nodes, 0);
+        assert_eq!(stats.completion_rate(), 0.0);
+        assert_eq!(stats.finish_old_secs.mean(), 0.0);
+        assert_eq!(stats.finish_old_secs.max_or_zero(), 0.0);
+        assert_eq!(stats.finish_old_secs.min_or_zero(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Struct-of-arrays sharded peer storage.
+//!
+//! The pre-sharding system kept one `Vec<PeerNode>` — an array of structs.
+//! At million-peer scale that layout has two costs: every protocol pass
+//! (scheduling, delivery, playback) strides over 192-byte records to touch
+//! one or two fields, and the worker pool has to carve chunks out of a
+//! single array whose ownership the borrow checker cannot split by field.
+//!
+//! [`PeerStore`] flips the layout.  Peers live in **shards** of dense,
+//! contiguous [`PeerId`] ranges (ids are assigned sequentially and never
+//! reused, so `id → (shard, slot)` is a shift and a mask).  Each
+//! [`PeerShard`] owns its peers' state as parallel *columns* — buffers,
+//! playback states, discovery counters, playback credits — so a pass that
+//! only needs buffers walks a dense `Vec<FifoBuffer>`, and the scheduling
+//! pass hands whole shards to the worker pool as its chunk unit (see
+//! `StreamingSystem::plan_chunks`).
+//!
+//! The [`PeerNode`] record survives as the *logical* per-peer unit: joiners
+//! are constructed as `PeerNode`s and [`PeerStore::push`] destructures them
+//! into columns, and the memory meter keeps reporting
+//! `size_of::<PeerNode>()` as the per-peer inline stride — the columns hold
+//! exactly those fields, so the accounting is unchanged by the layout.
+//!
+//! Borrowed access comes as views: [`PeerRef`] (shared, `Copy`) and
+//! [`PeerMut`] (exclusive), both forwarding to the protocol logic shared
+//! with `PeerNode` in [`crate::peer`].
+
+use crate::buffer::FifoBuffer;
+use crate::config::GossipConfig;
+use crate::mem::{vec_bytes, MemoryFootprint};
+use crate::peer::{self, NeighborInfo, PeerNode};
+use crate::playback::PlaybackState;
+use crate::scheduler::SchedulingContext;
+use crate::segment::{SegmentId, Session, SessionDirectory};
+use fss_overlay::PeerId;
+
+/// Default shard capacity: 64 Ki peers per shard keeps a million-peer store
+/// at 16 shards while leaving small systems in a single shard.
+pub const DEFAULT_SHARD_SIZE: usize = 1 << 16;
+
+/// One shard: the peer state of a contiguous [`PeerId`] range, stored as
+/// parallel columns (struct of arrays).
+#[derive(Debug, Default)]
+pub struct PeerShard {
+    buffers: Vec<FifoBuffer>,
+    playback: Vec<PlaybackState>,
+    known_sessions: Vec<usize>,
+    play_credit: Vec<f64>,
+}
+
+impl PeerShard {
+    fn with_capacity(capacity: usize) -> PeerShard {
+        let mut shard = PeerShard::default();
+        shard.buffers.reserve_exact(capacity);
+        shard.playback.reserve_exact(capacity);
+        shard.known_sessions.reserve_exact(capacity);
+        shard.play_credit.reserve_exact(capacity);
+        shard
+    }
+
+    /// Peers stored in this shard.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// True when the shard holds no peers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    fn push_parts(
+        &mut self,
+        buffer: FifoBuffer,
+        playback: PlaybackState,
+        known: usize,
+        credit: f64,
+    ) {
+        self.buffers.push(buffer);
+        self.playback.push(playback);
+        self.known_sessions.push(known);
+        self.play_credit.push(credit);
+    }
+}
+
+impl MemoryFootprint for PeerShard {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.buffers)
+            + vec_bytes(&self.playback)
+            + vec_bytes(&self.known_sessions)
+            + vec_bytes(&self.play_credit)
+            + self.buffers.iter().map(|b| b.heap_bytes()).sum::<usize>()
+    }
+}
+
+/// Sharded struct-of-arrays storage for every peer the system has ever
+/// admitted (slots are never reused; departed peers keep their slot, as in
+/// the previous `Vec<PeerNode>` layout).
+#[derive(Debug)]
+pub struct PeerStore {
+    /// Power-of-two shard capacity.
+    shard_size: usize,
+    /// `log2(shard_size)` — `id >> shift` is the shard index.
+    shift: u32,
+    /// Total peers across all shards.
+    len: usize,
+    shards: Vec<PeerShard>,
+}
+
+impl PeerStore {
+    /// Creates an empty store with the given power-of-two shard size.
+    pub fn new(shard_size: usize) -> PeerStore {
+        assert!(
+            shard_size.is_power_of_two(),
+            "shard size must be a power of two, got {shard_size}"
+        );
+        PeerStore {
+            shard_size,
+            shift: shard_size.trailing_zeros(),
+            len: 0,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Creates an empty store sized for `capacity` peers at the default
+    /// shard size.
+    pub fn with_capacity(capacity: usize) -> PeerStore {
+        let mut store = PeerStore::new(DEFAULT_SHARD_SIZE);
+        store
+            .shards
+            .reserve_exact(capacity.div_ceil(DEFAULT_SHARD_SIZE));
+        store
+    }
+
+    /// Total peers stored (including departed peers — slots are permanent).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no peer has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The power-of-two capacity of each shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// `log2(shard_size)`: `id >> shard_shift()` is a peer's shard index.
+    pub fn shard_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Number of shards currently backing the store.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (scheduling hands these to the worker pool).
+    pub fn shards(&self) -> &[PeerShard] {
+        &self.shards
+    }
+
+    /// Re-partitions the store into (at least) `shards` shards by shrinking
+    /// the shard size to the smallest power of two that covers the current
+    /// population in that many shards.  Stored state is moved column-wise;
+    /// results are byte-identical across shard counts (sharding only changes
+    /// the chunk boundaries of the scheduling pass, whose outputs concatenate
+    /// in peer order either way).
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        let target = self.len.div_ceil(shards).max(1).next_power_of_two();
+        self.reshard(target);
+    }
+
+    /// Re-partitions the store to the given power-of-two shard size.
+    pub fn set_shard_size(&mut self, shard_size: usize) {
+        assert!(
+            shard_size.is_power_of_two(),
+            "shard size must be a power of two, got {shard_size}"
+        );
+        self.reshard(shard_size);
+    }
+
+    fn reshard(&mut self, shard_size: usize) {
+        if shard_size == self.shard_size {
+            return;
+        }
+        let old = std::mem::take(&mut self.shards);
+        self.shard_size = shard_size;
+        self.shift = shard_size.trailing_zeros();
+        self.len = 0;
+        self.shards.reserve_exact(
+            old.iter()
+                .map(PeerShard::len)
+                .sum::<usize>()
+                .div_ceil(shard_size),
+        );
+        for shard in old {
+            let PeerShard {
+                buffers,
+                playback,
+                known_sessions,
+                play_credit,
+            } = shard;
+            for (((buffer, playback), known), credit) in buffers
+                .into_iter()
+                .zip(playback)
+                .zip(known_sessions)
+                .zip(play_credit)
+            {
+                self.push_parts(buffer, playback, known, credit);
+            }
+        }
+    }
+
+    /// Appends the next peer.  Ids are dense: the node's id must equal the
+    /// store's current length (checked in debug builds by the caller, which
+    /// owns id assignment).
+    pub fn push(&mut self, node: PeerNode) {
+        let (buffer, playback, known, credit) = node.into_parts();
+        self.push_parts(buffer, playback, known, credit);
+    }
+
+    fn push_parts(
+        &mut self,
+        buffer: FifoBuffer,
+        playback: PlaybackState,
+        known: usize,
+        credit: f64,
+    ) {
+        if self.len == self.shards.len() * self.shard_size {
+            self.shards.push(PeerShard::with_capacity(self.shard_size));
+        }
+        let shard = self.shards.last_mut().expect("shard just ensured");
+        shard.push_parts(buffer, playback, known, credit);
+        self.len += 1;
+    }
+
+    /// `id → (shard, slot)`.
+    #[inline]
+    fn loc(&self, id: PeerId) -> (usize, usize) {
+        let id = id as usize;
+        (id >> self.shift, id & (self.shard_size - 1))
+    }
+
+    /// The shard index holding `id`.
+    #[inline]
+    pub fn shard_of(&self, id: PeerId) -> usize {
+        (id as usize) >> self.shift
+    }
+
+    /// A peer's buffer column entry.
+    #[inline]
+    pub fn buffer(&self, id: PeerId) -> &FifoBuffer {
+        let (shard, slot) = self.loc(id);
+        &self.shards[shard].buffers[slot]
+    }
+
+    /// Mutable access to a peer's buffer (deliveries, source emission).
+    #[inline]
+    pub fn buffer_mut(&mut self, id: PeerId) -> &mut FifoBuffer {
+        let (shard, slot) = self.loc(id);
+        &mut self.shards[shard].buffers[slot]
+    }
+
+    /// A shared view of one peer.
+    #[inline]
+    pub fn peer(&self, id: PeerId) -> PeerRef<'_> {
+        let (shard, slot) = self.loc(id);
+        let shard = &self.shards[shard];
+        PeerRef {
+            id,
+            buffer: &shard.buffers[slot],
+            playback: &shard.playback[slot],
+            known_sessions: shard.known_sessions[slot],
+        }
+    }
+
+    /// An exclusive view of one peer.
+    #[inline]
+    pub fn peer_mut(&mut self, id: PeerId) -> PeerMut<'_> {
+        let (shard, slot) = self.loc(id);
+        let shard = &mut self.shards[shard];
+        PeerMut {
+            id,
+            buffer: &mut shard.buffers[slot],
+            playback: &mut shard.playback[slot],
+            known_sessions: &mut shard.known_sessions[slot],
+            play_credit: &mut shard.play_credit[slot],
+        }
+    }
+}
+
+impl MemoryFootprint for PeerStore {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.shards) + self.shards.iter().map(|s| s.heap_bytes()).sum::<usize>()
+    }
+}
+
+/// A shared, `Copy` view of one stored peer — the read-side twin of
+/// [`PeerNode`], sharing its protocol logic.
+#[derive(Clone, Copy)]
+pub struct PeerRef<'a> {
+    id: PeerId,
+    buffer: &'a FifoBuffer,
+    playback: &'a PlaybackState,
+    known_sessions: usize,
+}
+
+impl<'a> PeerRef<'a> {
+    /// The peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The peer's segment buffer.
+    pub fn buffer(&self) -> &'a FifoBuffer {
+        self.buffer
+    }
+
+    /// The peer's playback state.
+    pub fn playback(&self) -> &'a PlaybackState {
+        self.playback
+    }
+
+    /// Number of sessions the peer has discovered.
+    pub fn known_sessions(&self) -> usize {
+        self.known_sessions
+    }
+
+    /// The id the peer will play next (`id_play`).
+    pub fn id_play(&self) -> SegmentId {
+        self.playback.next_play()
+    }
+
+    /// The sessions the peer currently knows about.
+    pub fn known<'d>(&self, directory: &'d SessionDirectory) -> &'d [Session] {
+        peer::known_slice(self.known_sessions, directory)
+    }
+
+    /// See [`PeerNode::undelivered_in_session`].
+    pub fn undelivered_in_session(&self, session: &Session, fallback_end: SegmentId) -> usize {
+        peer::undelivered_in_session(self.buffer, self.id_play(), session, fallback_end)
+    }
+
+    /// See [`PeerNode::q2_for`].
+    pub fn q2_for(&self, session: &Session, qs: usize) -> usize {
+        peer::q2_for(self.buffer, session, qs)
+    }
+
+    /// See [`PeerNode::prepared_for`].
+    pub fn prepared_for(&self, session: &Session, qs: usize) -> bool {
+        self.q2_for(session, qs) == 0
+    }
+
+    /// See [`PeerNode::build_context`] (the allocating reference path; the
+    /// optimized path goes through the scratch arena instead).
+    pub fn build_context(
+        &self,
+        config: &GossipConfig,
+        directory: &SessionDirectory,
+        inbound_rate: f64,
+        neighbors: &[NeighborInfo<'_>],
+    ) -> Option<SchedulingContext> {
+        peer::build_context(
+            self.buffer,
+            self.id_play(),
+            self.known(directory),
+            config,
+            inbound_rate,
+            neighbors,
+        )
+    }
+}
+
+/// An exclusive view of one stored peer — the write-side twin of
+/// [`PeerNode`], sharing its protocol logic.
+pub struct PeerMut<'a> {
+    id: PeerId,
+    buffer: &'a mut FifoBuffer,
+    playback: &'a mut PlaybackState,
+    known_sessions: &'a mut usize,
+    play_credit: &'a mut f64,
+}
+
+impl PeerMut<'_> {
+    /// The peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Mutable access to the peer's buffer.
+    pub fn buffer_mut(&mut self) -> &mut FifoBuffer {
+        self.buffer
+    }
+
+    /// See [`PeerNode::rejoin_at`].
+    pub fn rejoin_at(&mut self, join_point: SegmentId) {
+        self.playback.rejoin_at(join_point);
+    }
+
+    /// See [`PeerNode::discover_sessions`].
+    pub fn discover_sessions(&mut self, directory: &SessionDirectory, observed_max: SegmentId) {
+        peer::discover_sessions(self.known_sessions, directory, observed_max);
+    }
+
+    /// See [`PeerNode::advance_playback`].
+    pub fn advance_playback(&mut self, config: &GossipConfig, directory: &SessionDirectory) -> u64 {
+        let known = peer::known_slice(*self.known_sessions, directory);
+        peer::advance_playback(self.buffer, self.playback, self.play_credit, known, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_of(n: usize, shard_size: usize) -> PeerStore {
+        let cfg = GossipConfig::paper_default();
+        let mut store = PeerStore::new(shard_size);
+        for id in 0..n {
+            store.push(PeerNode::new(id as PeerId, &cfg, SegmentId(0)));
+        }
+        store
+    }
+
+    #[test]
+    fn push_assigns_dense_shard_slots() {
+        let store = store_of(10, 4);
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.shard_count(), 3);
+        assert_eq!(store.shards()[0].len(), 4);
+        assert_eq!(store.shards()[1].len(), 4);
+        assert_eq!(store.shards()[2].len(), 2);
+        assert_eq!(store.shard_of(3), 0);
+        assert_eq!(store.shard_of(4), 1);
+        assert_eq!(store.peer(7).id(), 7);
+    }
+
+    #[test]
+    fn views_match_the_logical_record() {
+        let cfg = GossipConfig::paper_default();
+        let mut dir = SessionDirectory::new();
+        dir.start_session(0, 0.0, None);
+
+        let mut store = store_of(6, 4);
+        let mut node = PeerNode::new(2, &cfg, SegmentId(0));
+
+        for i in 0..20u64 {
+            store.buffer_mut(2).insert(SegmentId(i));
+            node.buffer_mut().insert(SegmentId(i));
+        }
+        store.peer_mut(2).discover_sessions(&dir, SegmentId(5));
+        node.discover_sessions(&dir, SegmentId(5));
+        assert_eq!(store.peer(2).known_sessions(), node.known_sessions());
+
+        let played_store = store.peer_mut(2).advance_playback(&cfg, &dir);
+        let played_node = node.advance_playback(&cfg, &dir);
+        assert_eq!(played_store, played_node);
+        assert_eq!(store.peer(2).id_play(), node.id_play());
+
+        let s = &dir.sessions()[0];
+        assert_eq!(
+            store.peer(2).undelivered_in_session(s, SegmentId(19)),
+            node.undelivered_in_session(s, SegmentId(19))
+        );
+        assert_eq!(store.peer(2).q2_for(s, 5), node.q2_for(s, 5));
+    }
+
+    #[test]
+    fn resharding_preserves_state_and_order() {
+        let mut dir = SessionDirectory::new();
+        dir.start_session(0, 0.0, None);
+
+        let mut store = store_of(11, 4);
+        for id in 0..11u32 {
+            for i in 0..(id as u64 + 1) {
+                store.buffer_mut(id).insert(SegmentId(i));
+            }
+            store.peer_mut(id).discover_sessions(&dir, SegmentId(0));
+        }
+
+        store.set_shards(2);
+        assert_eq!(store.len(), 11);
+        assert_eq!(store.shard_size(), 8);
+        assert_eq!(store.shard_count(), 2);
+        for id in 0..11u32 {
+            assert_eq!(store.buffer(id).len(), id as usize + 1);
+            assert_eq!(store.peer(id).known_sessions(), 1);
+        }
+
+        // Growing back to one shard is equally lossless.
+        store.set_shards(1);
+        assert_eq!(store.shard_count(), 1);
+        for id in 0..11u32 {
+            assert_eq!(store.buffer(id).len(), id as usize + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shard_size_is_rejected() {
+        PeerStore::new(12);
+    }
+}

@@ -40,11 +40,11 @@ use crate::peer::{NeighborInfo, PeerNode};
 use crate::scheduler::SegmentScheduler;
 use crate::scratch::{PeriodScratch, WorkerScratch};
 use crate::segment::{SegmentId, SessionDirectory, SourceId};
-use crate::stats::{RatioSample, SwitchRecord, TrafficCounters};
+use crate::stats::{RatioSample, SwitchRecord, SwitchStats, TrafficCounters};
+use crate::store::{PeerRef, PeerStore};
 use crate::transfer::{RequestBatch, TransferResolver};
 use fss_overlay::{ChurnModel, Overlay, OverlayError, PeerAttrs, PeerId};
 use fss_sim::exec::{DisjointSlots, JobExecutor, SerialExecutor};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Snapshot of everything an experiment needs after (or while) running the
@@ -53,8 +53,11 @@ use std::sync::Arc;
 pub struct SystemReport {
     /// Name of the scheduling policy that produced this run.
     pub scheduler: &'static str,
-    /// Per-peer switch records (indexed by [`PeerId`]).
-    pub switch_records: Vec<SwitchRecord>,
+    /// Aggregated switch statistics, folded over the per-peer switch
+    /// records in peer order at report time.  The raw per-peer records stay
+    /// readable through [`StreamingSystem::switch_records`]; the report
+    /// itself is O(1) in the peer count.
+    pub switch: SwitchStats,
     /// Per-period ratio samples recorded since the switch.
     pub ratio_samples: Vec<RatioSample>,
     /// Traffic accumulated over the whole run.
@@ -77,7 +80,10 @@ pub struct SystemReport {
 pub struct StreamingSystem {
     config: GossipConfig,
     overlay: Overlay,
-    peers: Vec<PeerNode>,
+    /// Sharded struct-of-arrays peer storage: dense contiguous id shards,
+    /// each owning its peers' buffer/playback/discovery/credit columns.
+    /// The shards are the chunk unit of the parallel scheduling pass.
+    peers: PeerStore,
     directory: SessionDirectory,
     scheduler: Box<dyn SegmentScheduler>,
     resolver: TransferResolver,
@@ -130,9 +136,10 @@ impl StreamingSystem {
     ) -> Self {
         config.validate().expect("valid gossip configuration");
         let capacity = overlay.graph().capacity();
-        let peers: Vec<PeerNode> = (0..capacity as PeerId)
-            .map(|id| PeerNode::new(id, &config, SegmentId(0)))
-            .collect();
+        let mut peers = PeerStore::with_capacity(capacity);
+        for id in 0..capacity as PeerId {
+            peers.push(PeerNode::new(id, &config, SegmentId(0)));
+        }
         let min_degree = overlay.config().min_degree;
         let membership_seed = overlay.config().seed ^ 0x4d45_4d42;
         let view = MembershipView::from_members(
@@ -193,6 +200,27 @@ impl StreamingSystem {
     /// The configured scheduling-pass chunk count.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Re-partitions the peer store into (at least) `shards` shards.  With
+    /// more than one shard, the shards — not [`set_parallelism`]'s even
+    /// slices — become the chunk unit of the scheduling pass, so the worker
+    /// pool steps shards independently.  Results are byte-identical across
+    /// shard counts: chunk outputs concatenate in peer order either way.
+    ///
+    /// [`set_parallelism`]: Self::set_parallelism
+    pub fn set_shards(&mut self, shards: usize) {
+        self.peers.set_shards(shards);
+    }
+
+    /// Number of shards currently backing the peer store.
+    pub fn shard_count(&self) -> usize {
+        self.peers.shard_count()
+    }
+
+    /// The peer store itself (sharded struct-of-arrays columns).
+    pub fn peer_store(&self) -> &PeerStore {
+        &self.peers
     }
 
     /// Attaches the executor that runs the scheduling-pass chunks — in
@@ -264,8 +292,15 @@ impl StreamingSystem {
     }
 
     /// Read access to one peer (panics on unknown ids).
-    pub fn peer(&self, id: PeerId) -> &PeerNode {
-        &self.peers[id as usize]
+    pub fn peer(&self, id: PeerId) -> PeerRef<'_> {
+        self.peers.peer(id)
+    }
+
+    /// The raw per-peer switch records (indexed by [`PeerId`]).  Reports
+    /// carry only their [`SwitchStats`] aggregate; tests and diagnostics
+    /// that need per-peer milestones read them here.
+    pub fn switch_records(&self) -> &[SwitchRecord] {
+        &self.switch_records
     }
 
     /// Starts the first source.  Must be called exactly once before running.
@@ -285,7 +320,9 @@ impl StreamingSystem {
             .expect("source exists");
         self.sources.push(source);
         self.next_emit = SegmentId(0);
-        self.peers[source as usize].discover_sessions(&self.directory, SegmentId(0));
+        self.peers
+            .peer_mut(source)
+            .discover_sessions(&self.directory, SegmentId(0));
         id
     }
 
@@ -336,10 +373,10 @@ impl StreamingSystem {
         self.sources.push(new_source);
 
         // The new source knows its own session immediately.
-        self.peers[new_source as usize].discover_sessions(
-            &self.directory,
-            self.directory.sessions()[new_id.0 as usize].first_segment,
-        );
+        let first_segment = self.directory.sessions()[new_id.0 as usize].first_segment;
+        self.peers
+            .peer_mut(new_source)
+            .discover_sessions(&self.directory, first_segment);
 
         // Record switch-time state.  A fresh record per peer, so serial
         // switches (speaker after speaker) each get their own milestones.
@@ -355,8 +392,10 @@ impl StreamingSystem {
         for peer_id in self.overlay.active_peers().collect::<Vec<_>>() {
             let record = &mut self.switch_records[peer_id as usize];
             record.present_at_switch = true;
-            record.q0 =
-                self.peers[peer_id as usize].undelivered_in_session(&old_session, last_emitted);
+            record.q0 = self
+                .peers
+                .peer(peer_id)
+                .undelivered_in_session(&old_session, last_emitted);
         }
         // Sources are not "switching" nodes: exclude them from the averages.
         self.switch_records[new_source as usize].present_at_switch = false;
@@ -511,10 +550,10 @@ impl StreamingSystem {
             .overlay
             .neighbors(id)
             .iter()
-            .map(|&n| self.peers[n as usize].id_play())
+            .map(|&n| self.peers.peer(n).id_play())
             .max()
             .unwrap_or(SegmentId(0));
-        self.peers[id as usize].rejoin_at(join_point);
+        self.peers.peer_mut(id).rejoin_at(join_point);
     }
 
     /// Repairs neighbour sets after external membership changes
@@ -603,11 +642,14 @@ impl StreamingSystem {
         self.update_switch_completion();
     }
 
-    /// Builds the run report.
+    /// Builds the run report.  The per-peer switch records fold into their
+    /// [`SwitchStats`] aggregate here — one serial pass in peer order, so
+    /// the report is identical across implementations and worker counts and
+    /// its size is independent of the peer count.
     pub fn report(&self) -> SystemReport {
         SystemReport {
             scheduler: self.scheduler.name(),
-            switch_records: self.switch_records.clone(),
+            switch: SwitchStats::from_records(&self.switch_records),
             ratio_samples: self.ratio_samples.clone(),
             traffic_total: self.traffic_total,
             traffic_switch_window: self.traffic_switch_window,
@@ -631,9 +673,12 @@ impl StreamingSystem {
             peer_slots: self.peers.len(),
             ..MemUsage::default()
         };
+        // The columns of the sharded store hold exactly the fields of the
+        // logical `PeerNode` record, so its size remains the metered
+        // per-peer inline stride.
         let inline = std::mem::size_of::<PeerNode>();
         for p in self.overlay.active_peers() {
-            usage.add_peer(inline, self.peers[p as usize].buffer().mem_breakdown());
+            usage.add_peer(inline, self.peers.buffer(p).mem_breakdown());
         }
         usage
     }
@@ -735,16 +780,18 @@ impl StreamingSystem {
         self.emit_credit += self.config.play_rate * self.config.tau_secs;
         let count = self.emit_credit.floor() as u64;
         self.emit_credit -= count as f64;
-        let source = &mut self.peers[live.source_peer as usize];
+        let buffer = self.peers.buffer_mut(live.source_peer);
         for _ in 0..count {
-            source.buffer_mut().insert(self.next_emit);
+            buffer.insert(self.next_emit);
             self.next_emit = self.next_emit.next();
         }
     }
 
     fn advance_playback_and_record(&mut self) {
         for p in self.overlay.active_peers() {
-            self.peers[p as usize].advance_playback(&self.config, &self.directory);
+            self.peers
+                .peer_mut(p)
+                .advance_playback(&self.config, &self.directory);
         }
 
         let Some((old_id, new_id)) = self.switch_sessions else {
@@ -764,7 +811,7 @@ impl StreamingSystem {
             if !record.countable() {
                 continue;
             }
-            let node = &self.peers[p as usize];
+            let node = self.peers.peer(p);
 
             if record.s1_finished_secs.is_none() && node.id_play() > old_end {
                 record.s1_finished_secs = Some(since_switch);
@@ -844,12 +891,12 @@ impl StreamingSystem {
         // the reference implementation.
         self.scratch.observed_max.clear();
         for &p in &self.scratch.active {
-            let own = self.peers[p as usize].buffer().max_id();
+            let own = self.peers.buffer(p).max_id();
             let neighbours = self
                 .overlay
                 .neighbors(p)
                 .iter()
-                .filter_map(|&n| self.peers[n as usize].buffer().max_id())
+                .filter_map(|&n| self.peers.buffer(n).max_id())
                 .max();
             self.scratch.observed_max.push(
                 own.into_iter()
@@ -861,7 +908,9 @@ impl StreamingSystem {
         for i in 0..self.scratch.active.len() {
             let p = self.scratch.active[i];
             let observed = self.scratch.observed_max[i];
-            self.peers[p as usize].discover_sessions(&self.directory, observed);
+            self.peers
+                .peer_mut(p)
+                .discover_sessions(&self.directory, observed);
         }
 
         // Dense per-peer rate tables, refreshed once per period.
@@ -876,26 +925,32 @@ impl StreamingSystem {
             self.scratch.outbound_rate[p] = outbound;
         }
 
+        // Chunk plan: with a sharded store the shards are the chunk unit
+        // (each chunk is the shard-local run of the active list); a
+        // single-shard store falls back to the legacy even slicing.  One
+        // scratch slot per chunk.
+        self.plan_chunks(workers);
+        let chunk_count = self.scratch.chunks.len();
+        self.scratch.ensure_capacity(capacity, chunk_count);
+
         // Hand the recycled request vectors to the workers that will
-        // actually run this period (the parallel chunking may use fewer
-        // chunks than worker slots; idle slots must not hoard vectors).
+        // actually run this period (there may be fewer chunks than worker
+        // slots; idle slots must not hoard vectors).
         {
             let PeriodScratch {
-                active,
                 request_pool,
                 workers: worker_slots,
                 ..
             } = &mut self.scratch;
-            let (_, used) = chunk_layout(active.len(), workers);
             let mut next = 0usize;
             while let Some(requests) = request_pool.pop() {
-                worker_slots[next % used].request_pool.push(requests);
+                worker_slots[next % chunk_count].request_pool.push(requests);
                 next += 1;
             }
         }
 
         // Scheduling pass (read-only over peers/overlay/directory).
-        self.run_scheduling_pass(workers);
+        self.run_scheduling_pass();
 
         // Merge worker outputs in node order and account control traffic.
         debug_assert!(self.scratch.batches.is_empty());
@@ -919,16 +974,51 @@ impl StreamingSystem {
         self.traffic_total.add_control(control_bits);
     }
 
-    /// Dispatches the per-node scheduling over `workers` chunks.  Chunks are
-    /// contiguous slices of the active list, so concatenating worker outputs
-    /// reproduces the sequential node order exactly; each chunk writes only
-    /// its own [`WorkerScratch`] slot, so any [`JobExecutor`] (the
-    /// persistent pool, or the in-line serial fallback) yields identical
-    /// results.
-    fn run_scheduling_pass(&mut self, workers: usize) {
+    /// Fills `scratch.chunks` with the `(start, end)` index ranges of the
+    /// active list the scheduling pass fans out over.
+    ///
+    /// With a sharded store the shards are the chunk unit: the active list
+    /// is ascending, so each shard's active peers form one contiguous run,
+    /// found by binary search on the shard's id bound.  A single-shard store
+    /// falls back to the legacy even slicing over `workers` chunks.  Always
+    /// produces at least one (possibly empty) chunk.
+    fn plan_chunks(&mut self, workers: usize) {
+        let PeriodScratch { chunks, active, .. } = &mut self.scratch;
+        chunks.clear();
+        if self.peers.shard_count() > 1 {
+            let shift = self.peers.shard_shift();
+            let mut start = 0usize;
+            while start < active.len() {
+                let shard = (active[start] as usize) >> shift;
+                let bound = ((shard as u64) + 1) << shift;
+                let end = start + active[start..].partition_point(|&p| (p as u64) < bound);
+                chunks.push((start, end));
+                start = end;
+            }
+        } else {
+            let (chunk_size, used) = chunk_layout(active.len(), workers);
+            for c in 0..used {
+                let start = (c * chunk_size).min(active.len());
+                let end = (start + chunk_size).min(active.len());
+                chunks.push((start, end));
+            }
+        }
+        if chunks.is_empty() {
+            chunks.push((0, 0));
+        }
+    }
+
+    /// Dispatches the per-node scheduling over the planned chunks.  Chunks
+    /// are contiguous slices of the active list, so concatenating worker
+    /// outputs reproduces the sequential node order exactly; each chunk
+    /// writes only its own [`WorkerScratch`] slot, so any [`JobExecutor`]
+    /// (the persistent pool, or the in-line serial fallback) yields
+    /// identical results.
+    fn run_scheduling_pass(&mut self) {
         let executor = &self.executor;
         let PeriodScratch {
             active,
+            chunks,
             workers: worker_slots,
             outbound_rate,
             inbound_rate,
@@ -940,10 +1030,11 @@ impl StreamingSystem {
         let config = &self.config;
         let scheduler: &dyn SegmentScheduler = &*self.scheduler;
 
-        let (chunk_size, used_workers) = chunk_layout(active.len(), workers);
-        if used_workers <= 1 {
+        let used = chunks.len();
+        if used <= 1 {
+            let (start, end) = chunks.first().copied().unwrap_or((0, 0));
             schedule_chunk(
-                active,
+                &active[start..end],
                 &mut worker_slots[0],
                 peers,
                 overlay,
@@ -957,12 +1048,12 @@ impl StreamingSystem {
         }
 
         let active = &active[..];
+        let chunks = &chunks[..];
         let outbound_rate = &outbound_rate[..];
         let inbound_rate = &inbound_rate[..];
-        let slots = DisjointSlots::new(&mut worker_slots[..used_workers]);
+        let slots = DisjointSlots::new(&mut worker_slots[..used]);
         let job = move |chunk: usize| {
-            let start = chunk * chunk_size;
-            let end = (start + chunk_size).min(active.len());
+            let (start, end) = chunks[chunk];
             // SAFETY: chunk indices are unique per execute() run, so each
             // scratch slot is borrowed by exactly one chunk.
             let worker = unsafe { slots.slot(chunk) };
@@ -979,8 +1070,8 @@ impl StreamingSystem {
             );
         };
         match executor {
-            Some(executor) => executor.execute(used_workers, &job),
-            None => SerialExecutor.execute(used_workers, &job),
+            Some(executor) => executor.execute(used, &job),
+            None => SerialExecutor.execute(used, &job),
         }
     }
 
@@ -1014,9 +1105,7 @@ impl StreamingSystem {
         }
         for i in 0..self.scratch.deliveries.len() {
             let d = self.scratch.deliveries[i];
-            self.peers[d.requester as usize]
-                .buffer_mut()
-                .insert(d.segment);
+            self.peers.buffer_mut(d.requester).insert(d.segment);
             self.traffic_total.add_data(self.config.segment_bits);
         }
 
@@ -1045,12 +1134,12 @@ impl StreamingSystem {
         let observed: Vec<(PeerId, SegmentId)> = active
             .iter()
             .map(|&p| {
-                let own = self.peers[p as usize].buffer().max_id();
+                let own = self.peers.buffer(p).max_id();
                 let neighbours = self
                     .overlay
                     .neighbors(p)
                     .iter()
-                    .filter_map(|&n| self.peers[n as usize].buffer().max_id())
+                    .filter_map(|&n| self.peers.buffer(n).max_id())
                     .max();
                 (
                     p,
@@ -1062,7 +1151,9 @@ impl StreamingSystem {
             })
             .collect();
         for (p, max_seen) in observed {
-            self.peers[p as usize].discover_sessions(&self.directory, max_seen);
+            self.peers
+                .peer_mut(p)
+                .discover_sessions(&self.directory, max_seen);
         }
 
         // Scheduling pass (immutable).
@@ -1093,15 +1184,14 @@ impl StreamingSystem {
                         .attrs(n)
                         .map(|a| a.bandwidth.outbound)
                         .unwrap_or(0.0),
-                    buffer: self.peers[n as usize].buffer(),
+                    buffer: self.peers.buffer(n),
                 })
                 .collect();
-            let Some(ctx) = self.peers[p as usize].build_context(
-                &self.config,
-                &self.directory,
-                inbound,
-                &infos,
-            ) else {
+            let Some(ctx) =
+                self.peers
+                    .peer(p)
+                    .build_context(&self.config, &self.directory, inbound, &infos)
+            else {
                 continue;
             };
             let requests = self.scheduler.schedule(&ctx);
@@ -1119,27 +1209,30 @@ impl StreamingSystem {
 
     fn deliver_reference(&mut self, batches: Vec<RequestBatch>) {
         let tau = self.config.tau_secs;
-        let outbound: HashMap<PeerId, usize> = self
-            .overlay
-            .active_peers()
-            .map(|p| {
-                let rate = self
-                    .overlay
-                    .attrs(p)
-                    .map(|a| a.bandwidth.outbound)
-                    .unwrap_or(0.0);
-                (p, (rate * tau).floor() as usize)
-            })
-            .collect();
+        // Outbound budgets out of the dense scratch table, like the
+        // optimized path: this was the last per-period `HashMap` anywhere
+        // in the period loop.
+        self.scratch
+            .ensure_capacity(self.overlay.graph().capacity(), 1);
+        for budget in self.scratch.outbound_budget.iter_mut() {
+            *budget = 0;
+        }
+        for p in self.overlay.active_peers() {
+            let rate = self
+                .overlay
+                .attrs(p)
+                .map(|a| a.bandwidth.outbound)
+                .unwrap_or(0.0);
+            self.scratch.outbound_budget[p as usize] = (rate * tau).floor() as usize;
+        }
+        let outbound_budget = &self.scratch.outbound_budget;
         let deliveries = self.resolver.resolve_round_reference(
             &batches,
-            |p| outbound.get(&p).copied().unwrap_or(0),
+            |p| outbound_budget.get(p as usize).copied().unwrap_or(0),
             self.period_index,
         );
         for d in deliveries {
-            self.peers[d.requester as usize]
-                .buffer_mut()
-                .insert(d.segment);
+            self.peers.buffer_mut(d.requester).insert(d.segment);
             self.traffic_total.add_data(self.config.segment_bits);
         }
     }
@@ -1152,9 +1245,7 @@ impl MemoryFootprint for StreamingSystem {
     /// [`SystemReport::mem`] this depends on the configured parallelism
     /// (worker slots) and is *not* surfaced in reports.
     fn heap_bytes(&self) -> usize {
-        let peers: usize =
-            vec_bytes(&self.peers) + self.peers.iter().map(|p| p.heap_bytes()).sum::<usize>();
-        peers
+        self.peers.heap_bytes()
             + self.scratch.heap_bytes()
             + self.view.heap_bytes()
             + self.churn_scratch.heap_bytes()
@@ -1205,7 +1296,7 @@ fn chunk_layout(active_len: usize, workers: usize) -> (usize, usize) {
 fn schedule_chunk(
     chunk: &[PeerId],
     worker: &mut WorkerScratch,
-    peers: &[PeerNode],
+    store: &PeerStore,
     overlay: &Overlay,
     directory: &SessionDirectory,
     config: &GossipConfig,
@@ -1226,12 +1317,12 @@ fn schedule_chunk(
             continue;
         }
         if !worker.build_context(
-            &peers[p as usize],
+            store.peer(p),
             config,
             directory,
             inbound,
             neighbors,
-            peers,
+            store,
             outbound_rate,
         ) {
             continue;
@@ -1364,13 +1455,13 @@ mod tests {
         let report = sys.report();
         assert_eq!(report.scheduler, "greedy-oldest");
         assert!(report.switch_completed_secs.is_some());
-        let countable: Vec<&SwitchRecord> = report
-            .switch_records
+        let countable: Vec<&SwitchRecord> = sys
+            .switch_records()
             .iter()
             .filter(|r| r.countable())
             .collect();
         assert!(!countable.is_empty());
-        for r in countable {
+        for r in &countable {
             assert!(r.completed());
             let finished = r.s1_finished_secs.unwrap();
             let prepared = r.s2_prepared_secs.unwrap();
@@ -1379,8 +1470,15 @@ mod tests {
                 assert!(started + 1e-9 >= finished.max(prepared) - 1.0);
             }
         }
+        // The report's aggregate folds exactly those records.
+        assert_eq!(
+            report.switch,
+            SwitchStats::from_records(sys.switch_records())
+        );
+        assert_eq!(report.switch.countable_nodes, countable.len());
+        assert_eq!(report.switch.completed_nodes, countable.len());
         // The new source is excluded from the averages.
-        assert!(!report.switch_records[s2 as usize].countable());
+        assert!(!sys.switch_records()[s2 as usize].countable());
 
         // Ratio samples move in the right directions.
         assert!(!report.ratio_samples.is_empty());
@@ -1406,15 +1504,10 @@ mod tests {
         let executed = sys.run_until_switched(300);
         assert!(executed < 300, "switch never completed under churn");
 
-        let report = sys.report();
         // Some nodes left, some joined; joiners are not countable.
-        assert!(report.switch_records.len() > 80);
-        assert!(report.switch_records.iter().any(|r| r.departed));
-        assert!(report
-            .switch_records
-            .iter()
-            .skip(80)
-            .all(|r| !r.countable()));
+        assert!(sys.switch_records().len() > 80);
+        assert!(sys.switch_records().iter().any(|r| r.departed));
+        assert!(sys.switch_records().iter().skip(80).all(|r| !r.countable()));
     }
 
     #[test]
@@ -1430,9 +1523,7 @@ mod tests {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.switch_records, b.switch_records);
-        assert_eq!(a.traffic_total, b.traffic_total);
-        assert_eq!(a.ratio_samples, b.ratio_samples);
+        assert_eq!(a, b);
     }
 
     /// The tentpole invariant: the scratch-arena hot path produces a report
@@ -1542,6 +1633,59 @@ mod tests {
         }
     }
 
+    /// The sharding invariant: re-partitioning the peer store changes only
+    /// the chunk boundaries of the scheduling pass, never the results —
+    /// even when churn grows the population across shard boundaries.
+    #[test]
+    fn sharded_stepping_is_byte_identical() {
+        let run = |shards: usize| {
+            let mut sys = build_system(80, 17);
+            sys.set_shards(shards);
+            assert!(sys.shard_count() >= shards.min(1));
+            let (s1, s2) = first_two(&sys);
+            sys.start_initial_source(s1);
+            sys.run_periods(25);
+            sys.set_churn(ChurnModel::paper_default(3));
+            sys.switch_source(s2);
+            sys.run_periods(50);
+            sys.report()
+        };
+        let single = run(1);
+        for shards in [2, 4, 8] {
+            assert_eq!(run(shards), single, "shards = {shards}");
+        }
+    }
+
+    /// Sharded stepping must also agree with the straight-line reference
+    /// implementation (which never consults the chunk plan).
+    #[test]
+    fn sharded_step_matches_reference_step() {
+        let run = |optimized: bool| {
+            let mut sys = build_system(90, 29);
+            sys.set_shards(4);
+            let (s1, s2) = first_two(&sys);
+            sys.start_initial_source(s1);
+            for _ in 0..30 {
+                if optimized {
+                    sys.step();
+                } else {
+                    sys.step_reference();
+                }
+            }
+            sys.set_churn(ChurnModel::paper_default(7));
+            sys.switch_source(s2);
+            for _ in 0..40 {
+                if optimized {
+                    sys.step();
+                } else {
+                    sys.step_reference();
+                }
+            }
+            sys.report()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
     #[test]
     fn external_depart_and_admit_mirror_churn() {
         let mut sys = build_system(30, 8);
@@ -1552,7 +1696,7 @@ mod tests {
         sys.depart_peer(viewer).unwrap();
         sys.repair_membership();
         assert!(!sys.overlay().graph().is_active(viewer));
-        assert!(sys.report().switch_records[viewer as usize].departed);
+        assert!(sys.switch_records()[viewer as usize].departed);
 
         let neighbours: Vec<PeerId> = sys.overlay().active_peers().take(5).collect();
         let attrs = *sys.overlay().attrs(source).unwrap();
@@ -1588,7 +1732,7 @@ mod tests {
         sys.depart_batch(&leavers).unwrap();
         for &p in &leavers {
             assert!(!sys.overlay().graph().is_active(p));
-            assert!(sys.report().switch_records[p as usize].departed);
+            assert!(sys.switch_records()[p as usize].departed);
         }
         // Membership was repaired: every active node keeps its min degree.
         let min_degree = sys.overlay().config().min_degree;

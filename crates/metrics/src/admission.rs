@@ -8,6 +8,7 @@
 //! long, how deep the queues ran, and how stale the (optionally bounded)
 //! candidate views were.
 
+use crate::sketch::QuantileSketch;
 use crate::summary::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +61,33 @@ impl AdmissionSummary {
             avg_delay_secs: s.mean,
             p95_delay_secs: Summary::quantile(delays_secs, 0.95),
             max_delay_secs: s.max,
+            avg_view_staleness: Summary::of(view_staleness).mean,
+        }
+    }
+
+    /// Builds the summary from a streaming delay sketch instead of a
+    /// per-arrival vector.  `deferred` (admissions that waited ≥ 1 period)
+    /// is carried as an explicit counter because the sketch's bucket 0
+    /// deliberately conflates "zero delay" with "sub-tick delay".  For the
+    /// simulator's whole-period delays every field matches
+    /// [`from_parts`](Self::from_parts) bitwise.
+    pub fn from_sketch(
+        rate_limited: bool,
+        delays: &QuantileSketch,
+        deferred: usize,
+        still_queued: usize,
+        max_queue_depth: usize,
+        view_staleness: &[f64],
+    ) -> AdmissionSummary {
+        AdmissionSummary {
+            rate_limited,
+            admitted: delays.count() as usize,
+            deferred,
+            still_queued,
+            max_queue_depth,
+            avg_delay_secs: delays.mean(),
+            p95_delay_secs: delays.quantile(0.95),
+            max_delay_secs: delays.max(),
             avg_view_staleness: Summary::of(view_staleness).mean,
         }
     }
@@ -127,6 +155,21 @@ mod tests {
         assert_eq!(s.requested(), 42);
         assert_eq!(s.admission_rate(), 1.0);
         assert_eq!(s.avg_delay_secs, 0.0);
+    }
+
+    #[test]
+    fn sketch_path_matches_vector_path_bitwise() {
+        let delays = [0.0, 0.0, 1.0, 2.0, 4.0];
+        let mut sketch = QuantileSketch::new(1.0);
+        for &d in &delays {
+            sketch.record(d);
+        }
+        let deferred = delays.iter().filter(|&&d| d > 0.0).count();
+        let staleness = [0.0, 2.0];
+        assert_eq!(
+            AdmissionSummary::from_sketch(true, &sketch, deferred, 3, 17, &staleness),
+            AdmissionSummary::from_parts(true, &delays, 3, 17, &staleness)
+        );
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! ratio samples, traffic counters); this crate turns them into the metrics
 //! the paper reports:
 //!
-//! * [`summary::Summary`] — generic descriptive statistics,
+//! * [`summary::Summary`] — generic descriptive statistics (plus
+//!   [`summary::SortedSample`], a sort-once quantile lookup),
+//! * [`sketch::QuantileSketch`] — fixed-size, order-independently
+//!   mergeable percentile sketches: the O(1)-memory streaming replacement
+//!   for per-event metric vectors at million-peer scale,
 //! * [`switch::SwitchSummary`] — average finishing time of `S1`, average
 //!   preparing time of `S2` (= average switch time), completion rate, and the
 //!   [`switch::reduction_ratio`] between two algorithms (Figures 6, 7, 10,
@@ -31,6 +35,7 @@ pub mod admission;
 pub mod mem;
 pub mod overhead;
 pub mod report;
+pub mod sketch;
 pub mod summary;
 pub mod switch;
 pub mod timeseries;
@@ -40,7 +45,8 @@ pub use admission::AdmissionSummary;
 pub use mem::MemSummary;
 pub use overhead::OverheadSummary;
 pub use report::Table;
-pub use summary::Summary;
+pub use sketch::QuantileSketch;
+pub use summary::{SortedSample, Summary};
 pub use switch::{reduction_ratio, SwitchSummary, ZapSummary};
 pub use timeseries::RatioTrack;
 pub use zapload::ZapLoadSummary;

@@ -19,9 +19,25 @@ pub struct Summary {
 
 impl Summary {
     /// Computes the summary of `values`, ignoring non-finite entries.
+    ///
+    /// Two streaming passes (moments, then central moments) — no
+    /// intermediate sample copy, zero heap allocation.  The accumulation
+    /// order matches the historical collect-then-fold implementation
+    /// operation for operation, so results are bitwise identical.
     pub fn of(values: &[f64]) -> Summary {
-        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        if finite.is_empty() {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                count += 1;
+                sum += v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if count == 0 {
             return Summary {
                 count: 0,
                 mean: 0.0,
@@ -30,11 +46,14 @@ impl Summary {
                 stddev: 0.0,
             };
         }
-        let count = finite.len();
-        let mean = finite.iter().sum::<f64>() / count as f64;
-        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let variance = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mean = sum / count as f64;
+        let mut squared = 0.0f64;
+        for &v in values {
+            if v.is_finite() {
+                squared += (v - mean).powi(2);
+            }
+        }
+        let variance = squared / count as f64;
         Summary {
             count,
             mean,
@@ -46,15 +65,54 @@ impl Summary {
 
     /// The `q`-quantile (0 ≤ q ≤ 1) of `values` using nearest-rank on the
     /// sorted finite sample; 0 for an empty sample.
+    ///
+    /// Sorts a copy of the sample per call; callers that need more than one
+    /// quantile of the same sample should build a [`SortedSample`] once (or
+    /// stream into a [`QuantileSketch`](crate::sketch::QuantileSketch)) —
+    /// both answer repeated quantile queries without allocating.
     pub fn quantile(values: &[f64], q: f64) -> f64 {
+        SortedSample::from_values(values).quantile(q)
+    }
+}
+
+/// A sample sorted **once** at construction; every subsequent
+/// [`quantile`](SortedSample::quantile) call is an O(1) lookup with zero
+/// heap allocation (the fix for the clone-and-sort-per-call percentile
+/// path, asserted by the counting-allocator regression test in
+/// `fss-bench`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSample {
+    values: Vec<f64>,
+}
+
+impl SortedSample {
+    /// Filters the finite entries of `values` and sorts them ascending —
+    /// the only allocation and the only sort this sample will ever do.
+    pub fn from_values(values: &[f64]) -> SortedSample {
         let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        if finite.is_empty() {
+        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        SortedSample { values: finite }
+    }
+
+    /// Number of (finite) samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1, clamped) by nearest rank; 0 for an
+    /// empty sample.  Never allocates.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
             return 0.0;
         }
-        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         let q = q.clamp(0.0, 1.0);
-        let rank = ((finite.len() as f64 - 1.0) * q).round() as usize;
-        finite[rank]
+        let rank = ((self.values.len() as f64 - 1.0) * q).round() as usize;
+        self.values[rank]
     }
 }
 
@@ -94,6 +152,20 @@ mod tests {
         // Out-of-range quantiles clamp.
         assert_eq!(Summary::quantile(&values, 2.0), 100.0);
         assert_eq!(Summary::quantile(&values, -1.0), 1.0);
+    }
+
+    #[test]
+    fn sorted_sample_answers_repeated_quantiles() {
+        let values: Vec<f64> = (1..=100).rev().map(|v| v as f64).collect();
+        let sorted = SortedSample::from_values(&values);
+        assert_eq!(sorted.len(), 100);
+        assert!(!sorted.is_empty());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(sorted.quantile(q), Summary::quantile(&values, q));
+        }
+        let empty = SortedSample::from_values(&[f64::NAN]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.5), 0.0);
     }
 
     proptest::proptest! {

@@ -1,7 +1,8 @@
 //! Switch-time metrics (§5.2 metrics 1 and 2 plus the supplementary ones).
 
+use crate::sketch::QuantileSketch;
 use crate::summary::Summary;
-use fss_gossip::SwitchRecord;
+use fss_gossip::{SwitchRecord, SwitchStats};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated switch metrics over all countable nodes of one run.
@@ -51,6 +52,24 @@ impl SwitchSummary {
             max_prepare_new_secs: Summary::of(&prepare).max,
             max_finish_old_secs: Summary::of(&finish).max,
             avg_q0: Summary::of(&q0).mean,
+        }
+    }
+
+    /// Builds the summary from the O(1)-memory streaming aggregate a
+    /// [`SystemReport`](fss_gossip::SystemReport) carries.  Numerically
+    /// identical (bit for bit) to [`from_records`](Self::from_records) over
+    /// the full per-peer record vector: the stats fold values in the same
+    /// ascending peer-id order the record path collected them in.
+    pub fn from_stats(stats: &SwitchStats) -> SwitchSummary {
+        SwitchSummary {
+            countable_nodes: stats.countable_nodes,
+            completed_nodes: stats.completed_nodes,
+            avg_finish_old_secs: stats.finish_old_secs.mean(),
+            avg_prepare_new_secs: stats.prepare_new_secs.mean(),
+            avg_start_new_secs: stats.start_new_secs.mean(),
+            max_prepare_new_secs: stats.prepare_new_secs.max_or_zero(),
+            max_finish_old_secs: stats.finish_old_secs.max_or_zero(),
+            avg_q0: stats.q0.mean(),
         }
     }
 
@@ -104,6 +123,21 @@ impl ZapSummary {
             avg_startup_secs: s.mean,
             max_startup_secs: s.max,
             p95_startup_secs: Summary::quantile(latencies, 0.95),
+        }
+    }
+
+    /// Builds the summary from a streaming latency sketch instead of a
+    /// per-event vector.  Because simulated startup delays are whole
+    /// multiples of the sketch unit (the period length `τ`), every field is
+    /// bitwise identical to [`from_latencies`](Self::from_latencies) over
+    /// the equivalent sample.  Never allocates.
+    pub fn from_sketch(latencies: &QuantileSketch, pending: usize) -> ZapSummary {
+        ZapSummary {
+            completed: latencies.count() as usize,
+            pending,
+            avg_startup_secs: latencies.mean(),
+            max_startup_secs: latencies.max(),
+            p95_startup_secs: latencies.quantile(0.95),
         }
     }
 
@@ -224,6 +258,47 @@ mod tests {
         let pending_only = ZapSummary::from_latencies(&[], 3);
         assert_eq!(pending_only.completion_rate(), 0.0);
         assert_eq!(pending_only.zaps(), 3);
+    }
+
+    #[test]
+    fn from_stats_matches_from_records_bitwise() {
+        let mut records = vec![
+            record(100, Some(10.0), Some(20.0)),
+            record(120, Some(14.0), Some(24.0)),
+            record(80, Some(12.0), None),
+        ];
+        records.push(SwitchRecord {
+            departed: true,
+            ..record(999, Some(1.0), Some(1.0))
+        });
+        records.push(SwitchRecord::default());
+
+        let via_records = SwitchSummary::from_records(&records);
+        let via_stats = SwitchSummary::from_stats(&SwitchStats::from_records(&records));
+        assert_eq!(via_records, via_stats);
+
+        let empty = SwitchSummary::from_stats(&SwitchStats::from_records(&[]));
+        assert_eq!(empty, SwitchSummary::from_records(&[]));
+    }
+
+    #[test]
+    fn zap_summary_from_sketch_matches_from_latencies_bitwise() {
+        let latencies: Vec<f64> = [2u64, 4, 4, 6, 8, 31, 2, 900]
+            .iter()
+            .map(|&k| k as f64)
+            .collect();
+        let mut sketch = QuantileSketch::new(1.0);
+        for &l in &latencies {
+            sketch.record(l);
+        }
+        assert_eq!(
+            ZapSummary::from_sketch(&sketch, 2),
+            ZapSummary::from_latencies(&latencies, 2)
+        );
+        assert_eq!(
+            ZapSummary::from_sketch(&QuantileSketch::new(1.0), 3),
+            ZapSummary::from_latencies(&[], 3)
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ use fss_gossip::{
     AdmissionPipeline, AdmissionScratch, GossipConfig, SegmentScheduler, StreamingSystem,
     TrafficCounters, ViewConfig,
 };
-use fss_metrics::{AdmissionSummary, MemSummary, ZapLoadSummary, ZapSummary};
+use fss_metrics::{AdmissionSummary, MemSummary, QuantileSketch, ZapLoadSummary, ZapSummary};
 use fss_overlay::{BandwidthConfig, ChurnModel, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
 use fss_sim::exec::DisjointSlots;
 use fss_trace::{GeneratorConfig, TraceGenerator};
@@ -230,8 +230,11 @@ struct Channel {
     period: u64,
     zaps_in: usize,
     zaps_out: usize,
-    /// Startup delays (seconds) of completed zap arrivals into this channel.
-    arrival_latencies: Vec<f64>,
+    /// Startup delays of completed zap arrivals into this channel, folded
+    /// into an O(1)-memory streaming sketch (unit = the period length `τ`,
+    /// so every whole-period delay lands exactly on the sketch grid and the
+    /// derived summary is bitwise equal to the old per-event vector's).
+    arrival_latencies: QuantileSketch,
     /// Arrivals that departed again (zap or churn) before their playback
     /// started — they never completed and never will, so they stay in the
     /// never-reached-playback side of the zap statistics.
@@ -250,9 +253,14 @@ struct Channel {
     /// happen at deterministic channel-local boundaries, so the stream is
     /// identical in barrier and pipelined mode.
     admission_rng: SmallRng,
-    /// Admission delays (seconds) of every arrival admitted via the queue,
-    /// including zero-delay same-boundary admissions.
-    admission_delays: Vec<f64>,
+    /// Admission delays of every arrival admitted via the queue, including
+    /// zero-delay same-boundary admissions, folded into a streaming sketch
+    /// (unit = `τ`, same exactness argument as `arrival_latencies`).
+    admission_delays: QuantileSketch,
+    /// Admissions that waited at least one boundary in the queue — kept as
+    /// an explicit counter because the sketch's bucket 0 conflates zero
+    /// with sub-tick delays.
+    deferred: usize,
     /// Deepest the queue has run.
     max_queue_depth: usize,
     /// Queue depth observed after the drain at each boundary (index =
@@ -356,8 +364,11 @@ impl Channel {
                 },
             );
             for &requested in &scratch.requested {
-                self.admission_delays
-                    .push((boundary - requested) as f64 * tau);
+                let delay = (boundary - requested) as f64 * tau;
+                if delay > 0.0 {
+                    self.deferred += 1;
+                }
+                self.admission_delays.record(delay);
             }
         }
         self.queue_depth_by_period.push(self.queue.len());
@@ -376,7 +387,7 @@ impl Channel {
                 return false;
             }
             if system.peer(zap.viewer).playback().has_started() {
-                latencies.push((now - zap.joined_period) as f64 * tau);
+                latencies.record((now - zap.joined_period) as f64 * tau);
                 return false;
             }
             true
@@ -487,6 +498,7 @@ impl SessionManager {
         config
             .validate()
             .expect("valid multi-channel session configuration");
+        let tau = config.gossip.tau_secs;
         let channels = (0..config.channels)
             .map(|c| {
                 let channel_seed = Self::channel_seed(config.seed, c);
@@ -520,14 +532,15 @@ impl SessionManager {
                     period: 0,
                     zaps_in: 0,
                     zaps_out: 0,
-                    arrival_latencies: Vec::new(),
+                    arrival_latencies: QuantileSketch::new(tau),
                     zaps_abandoned: 0,
                     pending: Vec::new(),
                     admit_limit: config.admission.max_admits_per_period,
                     zap_degree: config.zap_degree,
                     queue: VecDeque::new(),
                     admission_rng: SmallRng::seed_from_u64(channel_seed ^ 0x0AD3_170A),
-                    admission_delays: Vec::new(),
+                    admission_delays: QuantileSketch::new(tau),
+                    deferred: 0,
                     max_queue_depth: 0,
                     queue_depth_by_period: Vec::new(),
                     admit_scratch: AdmissionScratch::default(),
@@ -642,6 +655,16 @@ impl SessionManager {
         }
     }
 
+    /// Reshards every channel's peer store into (approximately) `shards`
+    /// struct-of-arrays shards, which become the chunk unit of each
+    /// channel's internal scheduling pass.  Byte-identical reports for every
+    /// shard count (asserted by the test-suite).
+    pub fn set_shards(&mut self, shards: usize) {
+        for channel in &mut self.channels {
+            channel.system.set_shards(shards);
+        }
+    }
+
     /// Runs `n` warm-up periods with the zapping workload disabled, letting
     /// every channel reach steady playback first.  Channels are fully
     /// independent here, so they advance in one unsynchronised pool job.
@@ -701,14 +724,18 @@ impl SessionManager {
                     traffic: channel.system.traffic_total(),
                     zaps_in: channel.zaps_in,
                     zaps_out: channel.zaps_out,
-                    zap_latency: ZapSummary::from_latencies(&channel.arrival_latencies, unresolved),
+                    zap_latency: ZapSummary::from_sketch(&channel.arrival_latencies, unresolved),
                 }
             })
             .collect();
-        let mut all: Vec<f64> = Vec::new();
+        // Cross-channel aggregate: merge the per-channel sketches in channel
+        // order.  The merge is an elementwise counter sum — exactly
+        // associative — so this equals one sketch fed every event.
+        let tau = self.config.gossip.tau_secs;
+        let mut all = QuantileSketch::new(tau);
         let mut unresolved = 0;
         for channel in &self.channels {
-            all.extend_from_slice(&channel.arrival_latencies);
+            all.merge_from(&channel.arrival_latencies);
             unresolved += channel.pending.len() + channel.zaps_abandoned + channel.queue.len();
         }
         let arrivals: Vec<usize> = self.channels.iter().map(|c| c.zaps_in).collect();
@@ -723,15 +750,24 @@ impl SessionManager {
             .map(|c| c.system.membership_view().staleness())
             .collect();
         let admission = if self.config.admission.max_admits_per_period.is_some() {
-            let mut delays: Vec<f64> = Vec::new();
+            let mut delays = QuantileSketch::new(tau);
+            let mut deferred = 0;
             let mut still_queued = 0;
             let mut max_queue_depth = 0;
             for channel in &self.channels {
-                delays.extend_from_slice(&channel.admission_delays);
+                delays.merge_from(&channel.admission_delays);
+                deferred += channel.deferred;
                 still_queued += channel.queue.len();
                 max_queue_depth = max_queue_depth.max(channel.max_queue_depth);
             }
-            AdmissionSummary::from_parts(true, &delays, still_queued, max_queue_depth, &staleness)
+            AdmissionSummary::from_sketch(
+                true,
+                &delays,
+                deferred,
+                still_queued,
+                max_queue_depth,
+                &staleness,
+            )
         } else {
             let admitted: usize = self.channels.iter().map(|c| c.zaps_in).sum();
             AdmissionSummary::pass_through(admitted, &staleness)
@@ -740,7 +776,7 @@ impl SessionManager {
             periods: self.period,
             workload: self.schedule.name(),
             channels,
-            cross_channel_zaps: ZapSummary::from_latencies(&all, unresolved),
+            cross_channel_zaps: ZapSummary::from_sketch(&all, unresolved),
             zap_load: ZapLoadSummary::from_arrivals(&arrivals),
             mem: MemSummary::from_usages(&usages),
             admission,

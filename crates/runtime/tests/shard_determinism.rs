@@ -1,0 +1,126 @@
+//! Sharded peer storage must be unobservable in every report: a channel's
+//! struct-of-arrays shard count changes *where* peer columns live and how
+//! the scheduling pass is chunked over the worker pool — never a single
+//! byte of any result.
+//!
+//! The sweep below drives the nastiest configuration the runtime offers —
+//! per-channel churn, a Zipf zap workload with a flash-crowd storm, the
+//! rate-limited admission queue and bounded candidate views — across shard
+//! counts {1, 2, 4, 8} × pool sizes {1, 2, 4, 7} × both stepping modes, and
+//! additionally pins the report digest so a shard-dependent result cannot
+//! sneak in together with a compensating test update.
+
+use fss_core::FastSwitchScheduler;
+use fss_runtime::zap::{CrowdZap, Storm};
+use fss_runtime::{
+    AdmissionControl, RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool,
+};
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// FxHash-style digest (deterministic across processes, unlike the std
+/// `RandomState`).  Mirrors `fss_gossip::hasher::FxHasher64`.
+fn fx_digest(text: &str) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    struct Fx(u64);
+    impl Hasher for Fx {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+            }
+        }
+    }
+    let mut h = Fx(0);
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+/// The full report surface, admission metrics included (this sweep exists
+/// to exercise the rate-limited admission path under sharding).  `{:?}` on
+/// `f64` prints the shortest round-trip representation, so the digest is
+/// exact, not rounded.
+fn surface(report: &RuntimeReport, timeline: &[(u64, usize)]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    write!(s, "periods={} workload={}", report.periods, report.workload).unwrap();
+    for c in &report.channels {
+        write!(
+            s,
+            " | ch{} viewers={} periods={} traffic={:?} in={} out={} lat={:?}",
+            c.channel, c.viewers, c.periods, c.traffic, c.zaps_in, c.zaps_out, c.zap_latency
+        )
+        .unwrap();
+    }
+    write!(
+        s,
+        " | cross={:?} load={:?} mem={:?} adm={:?} q={timeline:?}",
+        report.cross_channel_zaps, report.zap_load, report.mem, report.admission
+    )
+    .unwrap();
+    s
+}
+
+fn run(shards: usize, workers: usize, mode: SteppingMode) -> (RuntimeReport, Vec<(u64, usize)>) {
+    let config = SessionConfig {
+        seed: 47,
+        admission: AdmissionControl {
+            max_admits_per_period: Some(6),
+            view_bound: Some(16),
+        },
+        ..SessionConfig::paper_default(4, 40)
+    };
+    let mut m = SessionManager::new(config, Arc::new(WorkerPool::new(workers)), || {
+        Box::new(FastSwitchScheduler::new())
+    });
+    m.set_zap_schedule(Box::new(CrowdZap::zipf(4, 40, 0.03, 1.2, 47).with_storms(
+        vec![Storm {
+            at: 30,
+            target: 1,
+            size: 40,
+        }],
+    )));
+    m.enable_channel_churn(9);
+    m.set_shards(shards);
+    m.set_mode(mode);
+    m.warmup(25);
+    m.run_periods(30);
+    (m.report(), m.queue_depth_timeline())
+}
+
+/// The digest of the single-shard, single-worker barrier run.  Every other
+/// (shards, workers, mode) combination must reproduce it byte for byte.
+const PINNED_DIGEST: u64 = 17188237993819082087;
+
+#[test]
+fn reports_are_byte_identical_across_shard_counts_and_pool_sizes() {
+    let (reference, reference_timeline) = run(1, 1, SteppingMode::Barrier);
+    assert!(reference.total_zaps() > 0);
+    assert!(reference.cross_channel_zaps.completed > 0);
+    assert!(reference.admission.rate_limited);
+    assert!(reference.admission.deferred > 0, "the storm must queue");
+
+    assert_eq!(
+        fx_digest(&surface(&reference, &reference_timeline)),
+        PINNED_DIGEST,
+        "sharded run drifted from the pinned baseline:\n{}",
+        surface(&reference, &reference_timeline)
+    );
+
+    for &shards in &[1usize, 2, 4, 8] {
+        for &workers in &[1usize, 2, 4, 7] {
+            let (report, timeline) = run(shards, workers, SteppingMode::Barrier);
+            assert_eq!(report, reference, "shards={shards} workers={workers}");
+            assert_eq!(
+                timeline, reference_timeline,
+                "timeline shards={shards} workers={workers}"
+            );
+        }
+        // Pipelined stepping composes with sharding too.
+        let (report, timeline) = run(shards, 4, SteppingMode::Pipelined { run_ahead: 4 });
+        assert_eq!(report, reference, "pipelined shards={shards}");
+        assert_eq!(timeline, reference_timeline, "pipelined timeline");
+    }
+}

@@ -44,7 +44,7 @@ fn main() {
         };
         system.switch_source(next);
         let periods = system.run_until_switched(300);
-        let summary = SwitchSummary::from_records(&system.report().switch_records);
+        let summary = SwitchSummary::from_stats(&system.report().switch);
 
         println!(
             "handover {round}: peer {speaker} -> peer {next}: avg switch time {:.2}s, \

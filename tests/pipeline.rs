@@ -45,7 +45,7 @@ fn full_switch_through_the_facade_completes_with_both_algorithms() {
 
         let report = system.report();
         assert!(report.switch_completed_secs.is_some());
-        let summary = SwitchSummary::from_records(&report.switch_records);
+        let summary = SwitchSummary::from_stats(&report.switch);
         assert!(summary.completion_rate() > 0.999);
         assert!(summary.avg_switch_time_secs() > 0.0);
         assert!(summary.avg_finish_old_secs >= 0.0);
