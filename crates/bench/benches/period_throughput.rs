@@ -19,12 +19,16 @@
 //! * `zap_admission/*` — the per-batch cost of resolving one zap batch
 //!   (mover selection + per-arrival neighbour/attribute sampling) through
 //!   the legacy collect-then-`choose_multiple` path versus the membership
-//!   directory's pooled admission pipeline.
+//!   directory's pooled admission pipeline;
+//! * `qoe_overhead/*` — one steady period with QoE event recording on
+//!   (the default) versus off: the cost of the streaming telemetry layer
+//!   on the playback pass.
 //!
-//! The measured periods/second ratio, the `mem/*` bytes/peer figures and
-//! the `zap_admission/*` per-batch costs are recorded in
-//! `BENCH_period.json` (acceptance targets: ≥ 2× period speedup, ≥ 40 %
-//! bytes/peer reduction, directory admission ≤ legacy admission).
+//! The measured periods/second ratio, the `mem/*` bytes/peer figures, the
+//! `zap_admission/*` per-batch costs and the `qoe_overhead/*` telemetry
+//! tax are recorded in `BENCH_period.json` (acceptance targets: ≥ 2×
+//! period speedup, ≥ 40 % bytes/peer reduction, directory admission ≤
+//! legacy admission, QoE overhead ≤ 5 % of a period).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fss_core::FastSwitchScheduler;
@@ -239,6 +243,30 @@ fn bench_zap_admission(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `qoe_overhead/*` lane: the telemetry tax of the streaming QoE
+/// recorder on one full steady period.  `events_on_1k` is the default
+/// configuration (recorder enabled, one `observe` per peer per period plus
+/// the period fold); `events_off_1k` skips the whole event path.  The
+/// acceptance target in `BENCH_period.json` is ≤ 5 % overhead.
+fn bench_qoe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qoe_overhead");
+    group.sample_size(10);
+
+    let mut sys = steady_system(1);
+    assert!(sys.qoe().is_enabled(), "QoE recording defaults to on");
+    group.bench_function("events_on_1k", |b| b.iter(|| sys.step()));
+    assert!(
+        sys.qoe().totals().startups > 0,
+        "the instrumented steps must record startups"
+    );
+
+    let mut sys = steady_system(1);
+    sys.set_qoe_enabled(false);
+    group.bench_function("events_off_1k", |b| b.iter(|| sys.step()));
+
+    group.finish();
+}
+
 /// The pre-directory zap-batch resolution, verbatim from the PR 4
 /// `SessionManager::apply_batch`: fresh collections and per-arrival `Vec`s.
 #[allow(clippy::type_complexity)]
@@ -312,6 +340,7 @@ criterion_group!(
     bench_period_throughput,
     bench_memory_footprint,
     bench_million_peers,
-    bench_zap_admission
+    bench_zap_admission,
+    bench_qoe_overhead
 );
 criterion_main!(benches);

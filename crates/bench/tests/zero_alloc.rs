@@ -53,6 +53,9 @@ fn steady_state_period_loop_does_not_allocate() {
         Box::new(FastSwitchScheduler::new()),
     );
     sys.start_initial_source(source);
+    // QoE event recording defaults to ON — the zero-allocation guarantee
+    // below covers the instrumented playback pass, not a stripped build.
+    assert!(sys.qoe().is_enabled());
 
     // Warm-up: playback starts, buffers fill to capacity (evictions begin),
     // scratch arenas, pools and hash maps reach their steady capacities.
@@ -228,6 +231,64 @@ fn sketch_record_merge_and_fold_do_not_allocate() {
     );
     assert_eq!(summary.completed, 20_000);
     assert!(p50 >= 0.0);
+}
+
+/// The streaming QoE telemetry pipeline end to end: stepping with events
+/// ON (one `observe` per peer per period, the period fold, the event
+/// buffers) *plus* the per-period harvest the runtime performs — pushing
+/// the row into a bounded [`fss_metrics::Timeline`] (including its in-place
+/// 2× decimations) and streaming the startup / stall-duration events into
+/// [`fss_metrics::QuantileSketch`]es — allocates **zero** heap in steady
+/// state.  The recorder pre-reserves its event buffers, the timeline
+/// pre-reserves its ring, and decimation merges in place.
+#[test]
+fn telemetry_enabled_stepping_and_harvest_do_not_allocate() {
+    use fss_metrics::{QoeWindow, QuantileSketch, Timeline};
+
+    let trace = TraceGenerator::new(GeneratorConfig::sized(300, 24)).generate("zero-alloc-qoe");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.start_initial_source(source);
+    assert!(sys.qoe().is_enabled());
+    sys.run_periods(80);
+
+    // A deliberately tiny ring: 24 pushes over an 8-window timeline force
+    // two decimations *inside* the counted region.
+    let mut timeline = Timeline::new(8);
+    let mut startup = QuantileSketch::new(1.0);
+    let mut stall = QuantileSketch::new(1.0);
+
+    let before = allocations();
+    for _ in 0..24 {
+        sys.step();
+        let sample = *sys.qoe().latest().unwrap();
+        timeline.push(QoeWindow::from_sample(&sample));
+        for &delay in sys.qoe().startup_delays_periods() {
+            startup.record(delay as f64);
+        }
+        for &duration in sys.qoe().stall_durations_periods() {
+            stall.record(duration as f64);
+        }
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "telemetry-enabled stepping + harvest allocated {during} times; \
+         the event buffers, the bounded timeline and the sketches must all \
+         be allocation-free in steady state"
+    );
+
+    // Sanity: the telemetry actually observed the run.
+    assert_eq!(timeline.samples(), 24);
+    assert!(timeline.stride() > 1, "the ring must have decimated");
+    let observed: u64 = timeline.windows().map(|w| w.periods).sum();
+    assert_eq!(observed, 24);
+    assert!(sys.qoe().totals().startups > 0);
 }
 
 /// The percentile regression fix: `Summary::quantile` used to clone and

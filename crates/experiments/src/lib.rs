@@ -10,6 +10,9 @@
 //! * [`memory`] — steady-state bytes/peer measurements, the 50k-peer
 //!   large-population scenario the compact per-peer layout enables, and the
 //!   million-viewer multi-channel capstone on the sharded peer store,
+//! * [`scorecards`] — the QoE scorecard diff runner: run a baseline and
+//!   labelled variants, diff every variant's [`fss_metrics::Scorecard`]
+//!   against the baseline (see `docs/observability.md`),
 //! * [`zapping`] — the multi-channel channel-zapping workload (viewers
 //!   hopping between concurrent streams) and its sweeps: channel count,
 //!   Zipf popularity skew, flash-crowd storm size, and the membership
@@ -26,6 +29,7 @@ pub mod figures;
 pub mod memory;
 pub mod runner;
 pub mod scenario;
+pub mod scorecards;
 pub mod sweep;
 pub mod zapping;
 
@@ -36,6 +40,7 @@ pub use memory::{
 };
 pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};
+pub use scorecards::{diff_scenarios, render_comparison, scenario_scorecard, ScorecardPoint};
 pub use sweep::{sweep_sizes, sweep_sizes_on, SweepPoint};
 pub use zapping::{
     run_channel_zapping, sweep_admission_rates, sweep_channel_counts, sweep_storm_sizes,

@@ -36,6 +36,9 @@
 //!   peer-id shards owning their peers' state as parallel columns, the
 //!   chunk unit of the parallel scheduling pass (see `docs/performance.md`),
 //! * [`stats`] — traffic counters, switch records and ratio samples,
+//! * [`qoe`] — counter-only QoE event recording on the playback path
+//!   (startups, stall episodes, continuity, switch progress), one
+//!   [`qoe::PeriodSample`] row per period (see `docs/observability.md`),
 //! * [`mem`] — the [`mem::MemoryFootprint`] accounting trait and the
 //!   per-peer byte meter surfaced in reports (see `docs/performance.md`),
 //! * [`scratch`] — the reusable per-period working memory (zero-allocation
@@ -54,6 +57,7 @@ pub mod mem;
 pub mod membership;
 pub mod peer;
 pub mod playback;
+pub mod qoe;
 pub mod scheduler;
 pub mod scratch;
 pub mod segment;
@@ -69,6 +73,7 @@ pub use directory::{AdmissionPipeline, AdmissionScratch, MembershipView, ViewCon
 pub use mem::{BufferMemBreakdown, MemUsage, MemoryFootprint};
 pub use peer::{NeighborInfo, PeerNode};
 pub use playback::{PlaybackPhase, PlaybackState};
+pub use qoe::{PeriodSample, QoeRecorder, QoeTotals};
 pub use scheduler::{
     CandidateSegment, SchedulerScratch, SchedulingContext, SegmentRequest, SegmentScheduler,
     SessionView, StreamClass, SupplierInfo,

@@ -410,6 +410,13 @@ impl PeerMut<'_> {
         let known = peer::known_slice(*self.known_sessions, directory);
         peer::advance_playback(self.buffer, self.playback, self.play_credit, known, config)
     }
+
+    /// Read access to the peer's playback state (the QoE recorder observes
+    /// it right after [`advance_playback`](Self::advance_playback) without
+    /// paying a second store lookup).
+    pub fn playback(&self) -> &PlaybackState {
+        self.playback
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ use crate::directory::{sample_distinct, MembershipView, SampleScratch, ViewConfi
 use crate::mem::{vec_bytes, MemUsage, MemoryFootprint};
 use crate::membership::MembershipMaintainer;
 use crate::peer::{NeighborInfo, PeerNode};
+use crate::qoe::{QoeRecorder, QoeTotals};
 use crate::scheduler::SegmentScheduler;
 use crate::scratch::{PeriodScratch, WorkerScratch};
 use crate::segment::{SegmentId, SessionDirectory, SourceId};
@@ -74,6 +75,10 @@ pub struct SystemReport {
     /// equivalence across implementations, worker counts or stepping
     /// modes — see [`crate::mem`]).
     pub mem: MemUsage,
+    /// Cumulative QoE event counters (startups, stall episodes, continuity)
+    /// recorded on the playback path — see [`crate::qoe`].  All zero when
+    /// telemetry is disabled.
+    pub qoe: QoeTotals,
 }
 
 /// The period-synchronous gossip streaming simulator.
@@ -112,7 +117,17 @@ pub struct StreamingSystem {
     switch_sessions: Option<(SourceId, SourceId)>,
     switch_records: Vec<SwitchRecord>,
     ratio_samples: Vec<RatioSample>,
+    /// Keep-every-k decimation of the ratio samples (1 = keep all).
+    ratio_keep_every: u64,
+    /// Periods with a recordable ratio sample since the switch (the
+    /// decimation counter; the first sample is always kept).
+    ratio_periods_seen: u64,
     switch_completed_secs: Option<f64>,
+
+    /// Streaming QoE event recorder, fed by the playback pass (see
+    /// [`crate::qoe`]).  Consumes no RNG and allocates nothing in steady
+    /// state, so enabling it cannot change any simulated result.
+    qoe: QoeRecorder,
 
     /// Reusable period working memory.
     scratch: PeriodScratch,
@@ -170,7 +185,10 @@ impl StreamingSystem {
             switch_sessions: None,
             switch_records: vec![SwitchRecord::default(); capacity],
             ratio_samples: Vec::new(),
+            ratio_keep_every: 1,
+            ratio_periods_seen: 0,
             switch_completed_secs: None,
+            qoe: QoeRecorder::with_capacity(capacity),
             scratch: PeriodScratch::default(),
             parallelism: 1,
             executor: None,
@@ -303,6 +321,42 @@ impl StreamingSystem {
         &self.switch_records
     }
 
+    /// The streaming QoE recorder: the latest per-period event row and the
+    /// per-period startup/stall event buffers higher layers fold into
+    /// bounded timelines (see [`crate::qoe`]).
+    pub fn qoe(&self) -> &QoeRecorder {
+        &self.qoe
+    }
+
+    /// Turns QoE event recording on or off (on by default).  The event path
+    /// consumes no RNG and allocates nothing in steady state, so this knob
+    /// can never change a simulated result — it exists for the
+    /// `qoe_overhead` benchmark lane and for callers that want the last few
+    /// percent of period throughput.
+    pub fn set_qoe_enabled(&mut self, on: bool) {
+        self.qoe.set_enabled(on);
+    }
+
+    /// Decimates the per-period ratio samples to every `keep_every`-th
+    /// recordable period (the first sample after a switch is always kept),
+    /// bounding `SystemReport::ratio_samples` for long runs.  The default
+    /// of 1 keeps every sample — byte-identical to the undecimated report
+    /// (pinned by the golden digest tests).
+    ///
+    /// # Panics
+    /// Panics if `keep_every` is 0.
+    pub fn set_ratio_decimation(&mut self, keep_every: u64) {
+        assert!(keep_every > 0, "keep_every must be at least 1");
+        self.ratio_keep_every = keep_every;
+    }
+
+    /// Chooses a keep-every-k ratio decimation so a run of `expected_periods`
+    /// yields at most `max_samples` ratio samples (at least 1 sample).
+    pub fn ratio_keep_every_for(expected_periods: u64, max_samples: usize) -> u64 {
+        let cap = (max_samples as u64).max(1);
+        expected_periods.div_ceil(cap).max(1)
+    }
+
     /// Starts the first source.  Must be called exactly once before running.
     pub fn start_initial_source(&mut self, source: PeerId) -> SourceId {
         assert!(
@@ -385,6 +439,7 @@ impl StreamingSystem {
         self.switch_completed_secs = None;
         self.traffic_switch_window = TrafficCounters::new();
         self.ratio_samples.clear();
+        self.ratio_periods_seen = 0;
         let old_session = *self.directory.get(old_id).expect("old session exists");
         for record in self.switch_records.iter_mut() {
             *record = SwitchRecord::default();
@@ -541,6 +596,7 @@ impl StreamingSystem {
         self.peers
             .push(PeerNode::new(id, &self.config, SegmentId(0)));
         self.switch_records.push(SwitchRecord::default());
+        self.qoe.register_peer(self.period_index);
     }
 
     /// Points a joiner's playback at its neighbours' current steps (the
@@ -656,6 +712,7 @@ impl StreamingSystem {
             periods: self.period_index,
             switch_completed_secs: self.switch_completed_secs,
             mem: self.memory_usage(),
+            qoe: self.qoe.totals(),
         }
     }
 
@@ -788,14 +845,36 @@ impl StreamingSystem {
     }
 
     fn advance_playback_and_record(&mut self) {
-        for p in self.overlay.active_peers() {
-            self.peers
-                .peer_mut(p)
-                .advance_playback(&self.config, &self.directory);
+        // QoE telemetry reads the playback state machine *after* each peer's
+        // advance — counters only, no RNG, no allocation — so the observed
+        // run is bit-for-bit the unobserved one.  Shared by `step` and
+        // `step_reference`, which keeps the implementations equivalent.
+        let qoe_on = self.qoe.is_enabled();
+        if qoe_on {
+            self.qoe.begin_period(self.period_index);
         }
+        for p in self.overlay.active_peers() {
+            let mut peer = self.peers.peer_mut(p);
+            let played = peer.advance_playback(&self.config, &self.directory);
+            if qoe_on {
+                let playback = peer.playback();
+                let (started, stalls) = (playback.has_started(), playback.stalls());
+                self.qoe.observe(p as usize, started, stalls, played);
+            }
+        }
+        let switch_waiting = self.record_switch_milestones();
+        if qoe_on {
+            self.qoe.finish_period(switch_waiting);
+        }
+    }
 
+    /// The per-period switch-milestone pass: updates every countable peer's
+    /// milestones, appends the (possibly decimated) ratio sample, and
+    /// returns how many countable peers have not completed the switch yet
+    /// (the QoE switch-progress gauge; 0 outside a switch window).
+    fn record_switch_milestones(&mut self) -> u64 {
         let Some((old_id, new_id)) = self.switch_sessions else {
-            return;
+            return 0;
         };
         let since_switch = self.secs_since_switch();
         let old = *self.directory.get(old_id).expect("old session");
@@ -806,6 +885,7 @@ impl StreamingSystem {
         let mut undelivered_sum = 0.0;
         let mut delivered_sum = 0.0;
         let mut counted = 0usize;
+        let mut waiting = 0u64;
         for p in self.overlay.active_peers() {
             let record = &mut self.switch_records[p as usize];
             if !record.countable() {
@@ -822,6 +902,9 @@ impl StreamingSystem {
             if record.s2_started_secs.is_none() && node.id_play() > new.first_segment {
                 record.s2_started_secs = Some(since_switch);
             }
+            if !record.completed() {
+                waiting += 1;
+            }
 
             // Ratio tracks (Figures 5 and 9).
             let q1 = node.undelivered_in_session(&old, old_end);
@@ -837,12 +920,18 @@ impl StreamingSystem {
             counted += 1;
         }
         if counted > 0 {
-            self.ratio_samples.push(RatioSample {
-                secs: since_switch,
-                undelivered_ratio_s1: undelivered_sum / counted as f64,
-                delivered_ratio_s2: delivered_sum / counted as f64,
-            });
+            // Keep-every-k decimation (k = 1 keeps all, byte-identical to
+            // the undecimated report); the first sample is always kept.
+            self.ratio_periods_seen += 1;
+            if (self.ratio_periods_seen - 1).is_multiple_of(self.ratio_keep_every) {
+                self.ratio_samples.push(RatioSample {
+                    secs: since_switch,
+                    undelivered_ratio_s1: undelivered_sum / counted as f64,
+                    delivered_ratio_s2: delivered_sum / counted as f64,
+                });
+            }
         }
+        waiting
     }
 
     fn update_switch_completion(&mut self) {
@@ -1252,6 +1341,7 @@ impl MemoryFootprint for StreamingSystem {
             + vec_bytes(&self.switch_records)
             + vec_bytes(&self.ratio_samples)
             + vec_bytes(&self.sources)
+            + self.qoe.heap_bytes()
     }
 }
 
@@ -1879,5 +1969,121 @@ mod tests {
         let mut sys = build_system(20, 5);
         let (p, _) = first_two(&sys);
         sys.switch_source(p);
+    }
+
+    /// A scheduler whose request stream can be shut off mid-run, starving
+    /// every buffer: started peers drain what they hold and then stall.
+    struct FaucetScheduler {
+        open: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl SegmentScheduler for FaucetScheduler {
+        fn name(&self) -> &'static str {
+            "faucet"
+        }
+        fn schedule(&self, ctx: &SchedulingContext) -> Vec<SegmentRequest> {
+            if self.open.load(std::sync::atomic::Ordering::Relaxed) {
+                GreedyOldest.schedule(ctx)
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Induced buffer starvation produces *exact* stall accounting: every
+    /// started non-source peer begins exactly one episode, the stalled
+    /// gauge holds at that count for the whole starved window, no episode
+    /// ends while starved, and recovery closes exactly as many episodes as
+    /// began — with durations covering at least the starved window.
+    #[test]
+    fn starvation_stall_accounting_is_exact() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let open = Arc::new(AtomicBool::new(true));
+        let trace = TraceGenerator::new(GeneratorConfig::sized(30, 3)).generate("faucet");
+        let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+        let mut sys = StreamingSystem::new(
+            overlay,
+            GossipConfig::paper_default(),
+            Box::new(FaucetScheduler { open: open.clone() }),
+        );
+        let source = sys.overlay().active_peers().next().unwrap();
+        sys.start_initial_source(source);
+        sys.run_periods(30);
+
+        // Sources hold what they emit, so they never stall; the exact
+        // stall population is every *other* started peer.
+        let started: u64 = sys
+            .overlay()
+            .active_peers()
+            .filter(|&p| p != source && sys.peer(p).playback().has_started())
+            .count() as u64;
+        assert!(started > 0, "warmup must start playback");
+        assert_eq!(sys.qoe().latest().unwrap().stalled, 0, "no stalls yet");
+
+        // Cut every request and drain the buffers dry.
+        open.store(false, Ordering::Relaxed);
+        let mut begins = 0u64;
+        let mut ends = 0u64;
+        let step = |sys: &mut StreamingSystem, begins: &mut u64, ends: &mut u64| {
+            sys.step();
+            let row = *sys.qoe().latest().unwrap();
+            *begins += row.stall_begins;
+            *ends += row.stall_ends;
+            row
+        };
+        let mut fully_stalled = false;
+        for _ in 0..40 {
+            let row = step(&mut sys, &mut begins, &mut ends);
+            if row.stalled == started {
+                fully_stalled = true;
+                break;
+            }
+        }
+        assert!(fully_stalled, "starvation never stalled every started peer");
+        assert_eq!(
+            begins, started,
+            "each started peer begins exactly one episode"
+        );
+        assert_eq!(ends, 0, "no episode can end while starved");
+
+        // Hold the starved window: the gauge is pinned at `started`, no new
+        // begins or ends, and every peer misses the same per-period play
+        // budget — so the missed-opportunity counter repeats exactly.
+        const HOLD: u64 = 5;
+        let reference = step(&mut sys, &mut begins, &mut ends);
+        assert_eq!(reference.stalled, started);
+        assert!(reference.stalled_segments > 0);
+        for _ in 1..HOLD {
+            let row = step(&mut sys, &mut begins, &mut ends);
+            assert_eq!(row.stalled, started);
+            assert_eq!(row.stall_begins, 0);
+            assert_eq!(row.stall_ends, 0);
+            assert_eq!(row.stalled_segments, reference.stalled_segments);
+        }
+        assert_eq!(begins, started);
+        assert_eq!(ends, 0);
+        let totals_starved = sys.qoe().totals();
+
+        // Reopen the faucet: playback resumes and closes every episode.
+        open.store(true, Ordering::Relaxed);
+        let mut recovered = false;
+        for _ in 0..250 {
+            let row = step(&mut sys, &mut begins, &mut ends);
+            if row.stalled == 0 {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "playback never recovered after reopening");
+        assert_eq!(begins, started, "recovery must not begin new episodes");
+        assert_eq!(ends, started, "every episode ends exactly once");
+        let totals = sys.qoe().totals();
+        assert_eq!(totals.stall_events - totals_starved.stall_events, started);
+        assert!(
+            totals.stall_periods - totals_starved.stall_periods >= started * HOLD,
+            "episode durations must cover the starved window"
+        );
+        assert!(totals.continuity().unwrap() < 1.0);
     }
 }

@@ -22,6 +22,9 @@
 //!   rate-limited admission pipeline,
 //! * [`mem::MemSummary`] — the per-peer memory footprint (bytes/peer,
 //!   ring / window / sequence breakdown) aggregated across systems,
+//! * [`qoe::Timeline`] — fixed-capacity QoE / queue-depth timelines with
+//!   deterministic 2× decimation, and [`qoe::Scorecard`] — the diffable
+//!   scalar QoE summary of one run (see `docs/observability.md`),
 //! * [`timeseries::RatioTrack`] — the undelivered-`S1` / delivered-`S2`
 //!   tracks of Figures 5 and 9,
 //! * [`overhead::OverheadSummary`] — the communication overhead of Figures 8
@@ -34,6 +37,7 @@
 pub mod admission;
 pub mod mem;
 pub mod overhead;
+pub mod qoe;
 pub mod report;
 pub mod sketch;
 pub mod summary;
@@ -44,6 +48,10 @@ pub mod zapload;
 pub use admission::AdmissionSummary;
 pub use mem::MemSummary;
 pub use overhead::OverheadSummary;
+pub use qoe::{
+    DepthWindow, QoeWindow, Scorecard, ScorecardDelta, ScorecardParseError, Timeline,
+    TimelineWindow,
+};
 pub use report::Table;
 pub use sketch::QuantileSketch;
 pub use summary::{SortedSample, Summary};

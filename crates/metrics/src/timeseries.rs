@@ -13,7 +13,7 @@ impl RatioTrack {
     /// Builds a track from raw samples, sorted by time.
     pub fn from_samples(samples: &[RatioSample]) -> RatioTrack {
         let mut rows = samples.to_vec();
-        rows.sort_by(|a, b| a.secs.partial_cmp(&b.secs).expect("finite times"));
+        rows.sort_by(|a, b| a.secs.total_cmp(&b.secs));
         RatioTrack { rows }
     }
 

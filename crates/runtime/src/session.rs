@@ -54,7 +54,10 @@ use fss_gossip::{
     AdmissionPipeline, AdmissionScratch, GossipConfig, SegmentScheduler, StreamingSystem,
     TrafficCounters, ViewConfig,
 };
-use fss_metrics::{AdmissionSummary, MemSummary, QuantileSketch, ZapLoadSummary, ZapSummary};
+use fss_metrics::{
+    AdmissionSummary, DepthWindow, MemSummary, QoeWindow, QuantileSketch, Scorecard, Timeline,
+    ZapLoadSummary, ZapSummary,
+};
 use fss_overlay::{BandwidthConfig, ChurnModel, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
 use fss_sim::exec::DisjointSlots;
 use fss_trace::{GeneratorConfig, TraceGenerator};
@@ -268,7 +271,27 @@ struct Channel {
     queue_depth_by_period: Vec<usize>,
     /// Pooled buffers of the drain path.
     admit_scratch: AdmissionScratch,
+
+    // --- streaming QoE telemetry (see `docs/observability.md`) -----------
+    /// Bounded timeline of the channel's per-period QoE rows — one
+    /// [`QoeWindow`] pushed per step, decimated 2× whenever the ring fills,
+    /// so memory stays O([`TIMELINE_WINDOWS`]) for any run length.
+    qoe_timeline: Timeline<QoeWindow>,
+    /// Bounded timeline of the post-drain admission-queue depth, one gauge
+    /// per boundary (zero while the limiter is off, keeping every
+    /// channel's timeline shape-aligned for the report fold).
+    depth_timeline: Timeline<DepthWindow>,
+    /// Startup delays (first frame after joining), unit = `τ` — the exact
+    /// sketch-grid argument of `arrival_latencies` applies.
+    startup_delays: QuantileSketch,
+    /// Completed stall-episode durations, unit = `τ`.
+    stall_durations: QuantileSketch,
 }
+
+/// Windows kept per bounded telemetry timeline.  At 64 windows a run's
+/// whole QoE history fits in a few KiB per channel; longer runs coarsen
+/// (stride doubles) instead of growing.
+const TIMELINE_WINDOWS: usize = 64;
 
 /// The arrival-attribute draw shared by both admission branches of
 /// `apply_batch` — the arrival population (ping, bandwidth) must not depend
@@ -330,9 +353,14 @@ impl Channel {
     fn advance_to(&mut self, target: u64, tau: f64) {
         while self.period < target {
             self.drain_admissions(tau);
+            self.depth_timeline.push(DepthWindow::from_depth(
+                self.period,
+                self.queue.len() as u64,
+            ));
             self.system.step();
             self.period += 1;
             self.harvest(tau);
+            self.harvest_qoe(tau);
         }
     }
 
@@ -393,6 +421,23 @@ impl Channel {
             true
         });
     }
+
+    /// Folds the period's QoE row (published by the gossip recorder during
+    /// the step just taken) into the channel's bounded timeline and streams
+    /// the period's startup / stall-duration events into the sketches.
+    /// Channel-local and allocation-free in steady state.
+    fn harvest_qoe(&mut self, tau: f64) {
+        let recorder = self.system.qoe();
+        if let Some(sample) = recorder.latest() {
+            self.qoe_timeline.push(QoeWindow::from_sample(sample));
+        }
+        for &delay in recorder.startup_delays_periods() {
+            self.startup_delays.record(delay as f64 * tau);
+        }
+        for &duration in recorder.stall_durations_periods() {
+            self.stall_durations.record(duration as f64 * tau);
+        }
+    }
 }
 
 /// A batch emitted by the schedule, tagged with its global emission index
@@ -448,6 +493,16 @@ pub struct RuntimeReport {
     /// distribution and candidate-view staleness.  Structurally zero when
     /// admission control is off (the default).
     pub admission: AdmissionSummary,
+    /// Bounded QoE timeline folded across all channels in channel order:
+    /// startups, stall episodes, continuity and switch progress per window
+    /// (empty when QoE recording is disabled).
+    pub qoe_timeline: Timeline<QoeWindow>,
+    /// Bounded post-drain admission-queue depth timeline, folded across
+    /// channels (all-zero windows while the limiter is off).
+    pub queue_depth: Timeline<DepthWindow>,
+    /// The run's scalar QoE scorecard — the diffable summary the
+    /// experiment harness compares across configurations.
+    pub scorecard: Scorecard,
 }
 
 impl RuntimeReport {
@@ -544,6 +599,10 @@ impl SessionManager {
                     max_queue_depth: 0,
                     queue_depth_by_period: Vec::new(),
                     admit_scratch: AdmissionScratch::default(),
+                    qoe_timeline: Timeline::new(TIMELINE_WINDOWS),
+                    depth_timeline: Timeline::new(TIMELINE_WINDOWS),
+                    startup_delays: QuantileSketch::new(tau),
+                    stall_durations: QuantileSketch::new(tau),
                 }
             })
             .collect();
@@ -665,6 +724,16 @@ impl SessionManager {
         }
     }
 
+    /// Turns per-period QoE event recording on or off in every channel
+    /// (on by default).  Off, the gossip hot path skips all QoE work and
+    /// the report's QoE timeline and scorecard stay empty — the
+    /// `qoe_overhead` bench lane measures the difference.
+    pub fn set_qoe_enabled(&mut self, on: bool) {
+        for channel in &mut self.channels {
+            channel.system.set_qoe_enabled(on);
+        }
+    }
+
     /// Runs `n` warm-up periods with the zapping workload disabled, letting
     /// every channel reach steady playback first.  Channels are fully
     /// independent here, so they advance in one unsynchronised pool job.
@@ -749,37 +818,82 @@ impl SessionManager {
             .iter()
             .map(|c| c.system.membership_view().staleness())
             .collect();
-        let admission = if self.config.admission.max_admits_per_period.is_some() {
-            let mut delays = QuantileSketch::new(tau);
-            let mut deferred = 0;
-            let mut still_queued = 0;
-            let mut max_queue_depth = 0;
-            for channel in &self.channels {
-                delays.merge_from(&channel.admission_delays);
-                deferred += channel.deferred;
-                still_queued += channel.queue.len();
-                max_queue_depth = max_queue_depth.max(channel.max_queue_depth);
+        let (admission, admission_p95_delay_secs) =
+            if self.config.admission.max_admits_per_period.is_some() {
+                let mut delays = QuantileSketch::new(tau);
+                let mut deferred = 0;
+                let mut still_queued = 0;
+                let mut max_queue_depth = 0;
+                for channel in &self.channels {
+                    delays.merge_from(&channel.admission_delays);
+                    deferred += channel.deferred;
+                    still_queued += channel.queue.len();
+                    max_queue_depth = max_queue_depth.max(channel.max_queue_depth);
+                }
+                let p95 = if delays.is_empty() {
+                    0.0
+                } else {
+                    delays.quantile(0.95)
+                };
+                (
+                    AdmissionSummary::from_sketch(
+                        true,
+                        &delays,
+                        deferred,
+                        still_queued,
+                        max_queue_depth,
+                        &staleness,
+                    ),
+                    p95,
+                )
+            } else {
+                let admitted: usize = self.channels.iter().map(|c| c.zaps_in).sum();
+                (AdmissionSummary::pass_through(admitted, &staleness), 0.0)
+            };
+        // Telemetry fold: every channel runs the same periods, so the
+        // per-channel timelines share one shape and fold window-by-window
+        // in channel order — an elementwise counter sum, exactly
+        // associative, hence byte-identical for every stepping mode, pool
+        // size and shard count (asserted by the test-suite).
+        let mut qoe_timeline = Timeline::new(TIMELINE_WINDOWS);
+        let mut queue_depth = Timeline::new(TIMELINE_WINDOWS);
+        let mut startup_delays = QuantileSketch::new(tau);
+        let mut stall_durations = QuantileSketch::new(tau);
+        for (index, channel) in self.channels.iter().enumerate() {
+            if index == 0 {
+                qoe_timeline = channel.qoe_timeline.clone();
+                queue_depth = channel.depth_timeline.clone();
+            } else {
+                qoe_timeline.fold_channel(&channel.qoe_timeline);
+                queue_depth.fold_channel(&channel.depth_timeline);
             }
-            AdmissionSummary::from_sketch(
-                true,
-                &delays,
-                deferred,
-                still_queued,
-                max_queue_depth,
-                &staleness,
-            )
-        } else {
-            let admitted: usize = self.channels.iter().map(|c| c.zaps_in).sum();
-            AdmissionSummary::pass_through(admitted, &staleness)
-        };
+            startup_delays.merge_from(&channel.startup_delays);
+            stall_durations.merge_from(&channel.stall_durations);
+        }
+        let cross_channel_zaps = ZapSummary::from_sketch(&all, unresolved);
+        let viewers: usize = channels.iter().map(|c| c.viewers).sum();
+        let scorecard = Scorecard::from_observations(
+            self.period,
+            viewers as u64,
+            &startup_delays,
+            &stall_durations,
+            &qoe_timeline,
+            &queue_depth,
+            cross_channel_zaps.p95_startup_secs,
+            admission_p95_delay_secs,
+            tau,
+        );
         RuntimeReport {
             periods: self.period,
             workload: self.schedule.name(),
             channels,
-            cross_channel_zaps: ZapSummary::from_sketch(&all, unresolved),
+            cross_channel_zaps,
             zap_load: ZapLoadSummary::from_arrivals(&arrivals),
             mem: MemSummary::from_usages(&usages),
             admission,
+            qoe_timeline,
+            queue_depth,
+            scorecard,
         }
     }
 

@@ -62,6 +62,18 @@ fn legacy_surface(report: &RuntimeReport) -> String {
     s
 }
 
+/// The streaming-QoE telemetry surface (bounded timelines + scorecard),
+/// pinned separately from the legacy surface so the pre-directory digests
+/// above stay valid while the telemetry layer gets its own drift guard.
+fn qoe_surface(report: &RuntimeReport) -> String {
+    format!(
+        "qoe={:?} depth={:?} card={}",
+        report.qoe_timeline,
+        report.queue_depth,
+        report.scorecard.to_text()
+    )
+}
+
 fn run(channels: usize, seed: u64, mode: SteppingMode, churn: bool, storms: bool) -> RuntimeReport {
     let config = SessionConfig {
         seed,
@@ -106,5 +118,28 @@ fn churn_storm_pipelined_report_matches_the_pre_directory_pin() {
         fx_digest(&surface),
         844092618700673579,
         "report drifted from the pre-directory baseline:\n{surface}"
+    );
+}
+
+#[test]
+fn qoe_telemetry_is_pinned_for_the_uniform_barrier_run() {
+    let report = run(4, 11, SteppingMode::Barrier, false, false);
+    let surface = qoe_surface(&report);
+    assert!(report.scorecard.startups > 0, "warmup must start playback");
+    assert_eq!(
+        fx_digest(&surface),
+        7323453145858924477,
+        "QoE telemetry drifted from the pinned baseline:\n{surface}"
+    );
+}
+
+#[test]
+fn qoe_telemetry_is_pinned_for_the_churn_storm_pipelined_run() {
+    let report = run(5, 13, SteppingMode::Pipelined { run_ahead: 4 }, true, true);
+    let surface = qoe_surface(&report);
+    assert_eq!(
+        fx_digest(&surface),
+        12569093327864263347,
+        "QoE telemetry drifted from the pinned baseline:\n{surface}"
     );
 }

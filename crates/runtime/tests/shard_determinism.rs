@@ -94,6 +94,22 @@ fn run(shards: usize, workers: usize, mode: SteppingMode) -> (RuntimeReport, Vec
 /// (shards, workers, mode) combination must reproduce it byte for byte.
 const PINNED_DIGEST: u64 = 17188237993819082087;
 
+/// Digest of the same reference run's streaming-QoE telemetry surface
+/// (bounded timelines + scorecard), pinned separately so the legacy pin
+/// above keeps its pre-telemetry value.
+const QOE_PINNED_DIGEST: u64 = 17697973354510269892;
+
+/// The telemetry surface of one report: the folded QoE / queue-depth
+/// timelines and the scorecard's exact text form.
+fn qoe_surface(report: &RuntimeReport) -> String {
+    format!(
+        "qoe={:?} depth={:?} card={}",
+        report.qoe_timeline,
+        report.queue_depth,
+        report.scorecard.to_text()
+    )
+}
+
 #[test]
 fn reports_are_byte_identical_across_shard_counts_and_pool_sizes() {
     let (reference, reference_timeline) = run(1, 1, SteppingMode::Barrier);
@@ -107,6 +123,16 @@ fn reports_are_byte_identical_across_shard_counts_and_pool_sizes() {
         PINNED_DIGEST,
         "sharded run drifted from the pinned baseline:\n{}",
         surface(&reference, &reference_timeline)
+    );
+    assert!(
+        reference.scorecard.admission_peak_queue > 0,
+        "the storm must register on the depth timeline"
+    );
+    assert_eq!(
+        fx_digest(&qoe_surface(&reference)),
+        QOE_PINNED_DIGEST,
+        "QoE telemetry drifted from the pinned baseline:\n{}",
+        qoe_surface(&reference)
     );
 
     for &shards in &[1usize, 2, 4, 8] {

@@ -15,6 +15,12 @@
 //! and admits over several boundaries — the queue-depth timeline and the
 //! admission-delay distribution are printed.
 //!
+//! Finally the streaming-QoE telemetry collected *during* the runs is
+//! shown: the bounded stall timeline (startups, stalled-peer peaks and
+//! per-window continuity across the storm) and the scorecard diff between
+//! the unlimited and rate-limited runs — the artefact the telemetry layer
+//! exists to produce (see `docs/observability.md`).
+//!
 //! ```text
 //! cargo run --release --example flash_crowd
 //! ```
@@ -166,4 +172,33 @@ fn main() {
             "#".repeat(depth.div_ceil(4))
         );
     }
+
+    // --- streaming QoE telemetry --------------------------------------
+    println!();
+    println!(
+        "QoE stall timeline of the rate-limited run (bounded: {} windows of \
+         {} periods each; # = 2 stalled peers at the window's peak):",
+        limited.qoe_timeline.slots().len(),
+        limited.qoe_timeline.stride()
+    );
+    println!("  window    startups  stall-beg  stalled-peak  continuity");
+    for w in limited.qoe_timeline.windows() {
+        let continuity = w
+            .continuity()
+            .map_or_else(|| "    -".to_string(), |c| format!("{:.4}", c));
+        println!(
+            "  {:>4}..{:<4}  {:>7}  {:>9}  {:>12}  {}  {}",
+            w.start_period,
+            w.start_period + w.periods,
+            w.startups,
+            w.stall_begins,
+            w.stalled_peak,
+            continuity,
+            "#".repeat((w.stalled_peak as usize).div_ceil(2))
+        );
+    }
+
+    println!();
+    println!("scorecard diff: unlimited admission -> {ADMITS_PER_PERIOD} admits/period");
+    println!("{}", report.scorecard.diff(&limited.scorecard));
 }
