@@ -22,7 +22,13 @@
 //!   directory's pooled admission pipeline;
 //! * `qoe_overhead/*` — one steady period with QoE event recording on
 //!   (the default) versus off: the cost of the streaming telemetry layer
-//!   on the playback pass.
+//!   on the playback pass;
+//! * `net/*` — the event-driven network core against plain period
+//!   stepping: `period_mode_1k` is the lockstep baseline, `event_ideal_1k`
+//!   routes the same period through `advance()` with the ideal (zero
+//!   latency, zero loss) model installed — byte-identical results, so the
+//!   difference is pure event-core bookkeeping (budget ≤ 10 %) — and
+//!   `event_faulty_1k` prices a lossy, delayed, jittered period.
 //!
 //! The measured periods/second ratio, the `mem/*` bytes/peer figures, the
 //! `zap_admission/*` per-batch costs and the `qoe_overhead/*` telemetry
@@ -267,6 +273,56 @@ fn bench_qoe_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `net/*` lane: what the event-driven core costs per period.
+///
+/// `event_ideal_1k` runs the identical workload as `period_mode_1k` —
+/// the ideal model skips every fault draw and delivers at the resolving
+/// boundary, so the reports stay byte-identical and the measured delta is
+/// the queue push/pop and boundary-drain bookkeeping alone.  The
+/// acceptance budget in `BENCH_period.json` is ≤ 10 % over period mode.
+fn bench_net_overhead(c: &mut Criterion) {
+    use fss_overlay::NetworkConfig;
+
+    let mut group = c.benchmark_group("net");
+    group.sample_size(10);
+
+    let mut sys = steady_system(1);
+    group.bench_function("period_mode_1k", |b| b.iter(|| sys.step()));
+
+    let mut sys = steady_system(1);
+    sys.set_network(NetworkConfig::ideal());
+    group.bench_function("event_ideal_1k", |b| b.iter(|| sys.advance()));
+    assert_eq!(
+        sys.network_stats().data_lost,
+        0,
+        "the ideal model must never sample the loss stream"
+    );
+
+    let trace = TraceGenerator::new(GeneratorConfig::sized(NODES, 1)).generate("throughput");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    sys.set_network(NetworkConfig {
+        latency_scale: 1.0,
+        loss_rate: 0.05,
+        jitter_ms: 10,
+        seed: 0x25,
+    });
+    sys.start_initial_source(source);
+    sys.run_periods(WARMUP_PERIODS);
+    group.bench_function("event_faulty_1k", |b| b.iter(|| sys.advance()));
+    assert!(
+        sys.network_stats().data_lost > 0,
+        "the faulty lane must actually drop messages"
+    );
+
+    group.finish();
+}
+
 /// The pre-directory zap-batch resolution, verbatim from the PR 4
 /// `SessionManager::apply_batch`: fresh collections and per-arrival `Vec`s.
 #[allow(clippy::type_complexity)]
@@ -341,6 +397,7 @@ criterion_group!(
     bench_memory_footprint,
     bench_million_peers,
     bench_zap_admission,
-    bench_qoe_overhead
+    bench_qoe_overhead,
+    bench_net_overhead
 );
 criterion_main!(benches);

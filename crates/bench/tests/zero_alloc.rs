@@ -204,6 +204,69 @@ fn sharded_steady_state_period_loop_does_not_allocate() {
     assert!(report.traffic_total.data_bits > 0);
 }
 
+/// The event-driven stepping mode keeps the guarantee: with a delayed,
+/// jittered network model installed, every in-flight message lives in the
+/// pre-reserved event queue (`NetMessage` is `Copy`, the heap was sized
+/// from the bandwidth budget and the latency horizon at `set_network`
+/// time) and the jitter draws are stateless hashes — so steady-state event
+/// periods still touch the heap zero times.
+///
+/// Loss is deliberately outside the guarantee, mirroring the admission-
+/// mutation exclusion above: a lost segment is missing *protocol* state,
+/// not working memory.  A peer whose needed segment ages out of every
+/// neighbour's buffer stalls for good, and its re-request window (the
+/// scheduler's candidate set) then legitimately tracks the advancing
+/// stream head — genuine state growth the scratch arena must absorb by
+/// growing, at any loss rate.  The fault-injection suite in `fss-runtime`
+/// pins lossy runs by digest instead.
+#[test]
+fn steady_state_event_mode_stepping_does_not_allocate() {
+    use fss_overlay::NetworkConfig;
+
+    let trace = TraceGenerator::new(GeneratorConfig::sized(300, 25)).generate("zero-alloc-event");
+    let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
+    let source = overlay.active_peers().next().unwrap();
+
+    let mut sys = StreamingSystem::new(
+        overlay,
+        GossipConfig::paper_default(),
+        Box::new(FastSwitchScheduler::new()),
+    );
+    // Trace latencies at full scale plus jitter: every message is deferred
+    // through the event queue and every data leg samples the jitter
+    // stream, but RTTs stay under the scheduling period, so the queue's
+    // high-water mark sits well inside the capacity reserved by
+    // `set_network`.
+    sys.set_network(NetworkConfig {
+        latency_scale: 1.0,
+        loss_rate: 0.0,
+        jitter_ms: 10,
+        seed: 0x25,
+    });
+    sys.start_initial_source(source);
+
+    sys.run_periods(80);
+
+    let before = allocations();
+    sys.run_periods(20);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "event-mode steady-state periods allocated {during} times; \
+         the pre-reserved event queue must absorb all in-flight messages"
+    );
+
+    let report = sys.report();
+    assert_eq!(report.periods, 100);
+    assert!(report.traffic_total.data_bits > 0);
+    let stats = sys.network_stats();
+    assert!(
+        stats.max_in_flight > 0,
+        "messages must actually defer through the event queue"
+    );
+    assert!(stats.data_delivered > 0, "segments must still flow");
+}
+
 /// The streaming metric path: recording samples into a
 /// [`fss_metrics::QuantileSketch`], merging sketches (the cross-channel
 /// report fold) and deriving the summary all run on fixed-size bucket

@@ -7,6 +7,9 @@
 //!   *same* workload,
 //! * [`sweep`] — parallel sweeps over network sizes (chunks on the
 //!   persistent `fss-runtime` worker pool, one simulation per chunk),
+//! * [`network`] — loss-rate and latency-scale fault sweeps on the
+//!   event-driven network core: how switch latency and playback continuity
+//!   degrade when the paper's ideal-network assumption is relaxed,
 //! * [`memory`] — steady-state bytes/peer measurements, the 50k-peer
 //!   large-population scenario the compact per-peer layout enables, and the
 //!   million-viewer multi-channel capstone on the sharded peer store,
@@ -27,6 +30,7 @@
 
 pub mod figures;
 pub mod memory;
+pub mod network;
 pub mod runner;
 pub mod scenario;
 pub mod scorecards;
@@ -37,6 +41,9 @@ pub use memory::{
     measure_memory, run_large_population, run_million_viewers, sweep_memory, LargePopulationReport,
     MemoryPoint, MemoryScenario, MillionReport, MillionScenario, LARGE_POPULATION_NODES,
     MILLION_VIEWERS,
+};
+pub use network::{
+    render_fault_table, sweep_faults_on, sweep_latency_scales, sweep_loss_rates, FaultSweepPoint,
 };
 pub use runner::{run_comparison, run_scenario, ComparisonResult, RunResult};
 pub use scenario::{Algorithm, Environment, ScenarioConfig};

@@ -1,0 +1,228 @@
+//! Loss / latency fault sweeps over the event-driven network model.
+//!
+//! The paper's evaluation assumes an implicitly lossless, instant network;
+//! these sweeps quantify how its headline metric — source-switch latency —
+//! and playback continuity degrade when the event-driven core injects
+//! per-message Bernoulli loss or scales the trace latencies past the
+//! scheduling period (see `docs/network.md`).  Each fault point is an
+//! independent single-channel run of the usual switch scenario, fanned out
+//! on the persistent worker pool like the size sweeps.
+
+use crate::runner::{run_scenario, RunResult};
+use crate::scenario::ScenarioConfig;
+use fss_overlay::NetworkConfig;
+use fss_runtime::WorkerPool;
+use fss_sim::exec::DisjointSlots;
+
+/// The outcome of the switch scenario at one fault point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepPoint {
+    /// Per-message Bernoulli loss rate of this point.
+    pub loss_rate: f64,
+    /// Multiplier on the trace-derived per-link latency of this point.
+    pub latency_scale: f64,
+    /// Average per-node source-switch time (the paper's Metric 1).
+    pub avg_switch_secs: f64,
+    /// Seconds until the slowest countable node had the new stream ready
+    /// (the tail of the switch-time distribution).
+    pub max_switch_secs: f64,
+    /// Run-wide playback continuity (played / play opportunities; `None`
+    /// before anything played).
+    pub continuity: Option<f64>,
+    /// Completed stall episodes across all peers.
+    pub stall_events: u64,
+    /// Whether every countable node completed the switch.
+    pub completed: bool,
+}
+
+impl FaultSweepPoint {
+    fn from_run(loss_rate: f64, latency_scale: f64, run: &RunResult) -> Self {
+        FaultSweepPoint {
+            loss_rate,
+            latency_scale,
+            avg_switch_secs: run.avg_switch_time_secs(),
+            max_switch_secs: run.switch.max_prepare_new_secs,
+            continuity: run.qoe.continuity(),
+            stall_events: run.qoe.stall_events,
+            completed: run.completed,
+        }
+    }
+}
+
+/// Runs the switch scenario of `base` once per `(loss, latency)` fault
+/// point, in parallel on `pool`, and returns the points in input order.
+///
+/// `base.network` supplies the fault-stream seed and jitter; each point
+/// overrides only its loss rate and latency scale.  A `(0.0, 0.0)` point is
+/// the ideal network — byte-identical to the period-lockstep run of `base`.
+pub fn sweep_faults_on(
+    pool: &WorkerPool,
+    points: &[(f64, f64)],
+    base: &ScenarioConfig,
+) -> Vec<FaultSweepPoint> {
+    let seed_config = base.network.unwrap_or_default();
+    let mut results: Vec<Option<FaultSweepPoint>> = vec![None; points.len()];
+    {
+        let slots = DisjointSlots::new(&mut results);
+        pool.execute(points.len(), &|chunk: usize| {
+            let (loss_rate, latency_scale) = points[chunk];
+            let config = ScenarioConfig {
+                network: Some(NetworkConfig {
+                    loss_rate,
+                    latency_scale,
+                    ..seed_config
+                }),
+                ..*base
+            };
+            let run = run_scenario(&config);
+            // SAFETY: chunk indices are unique per execute() run, so each
+            // result slot is written by exactly one worker.
+            *unsafe { slots.slot(chunk) } =
+                Some(FaultSweepPoint::from_run(loss_rate, latency_scale, &run));
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("all points ran"))
+        .collect()
+}
+
+/// Sweeps per-message loss rates at zero added latency (continuity and
+/// switch latency vs loss — the fault-resilience curve).
+pub fn sweep_loss_rates(
+    pool: &WorkerPool,
+    losses: &[f64],
+    base: &ScenarioConfig,
+) -> Vec<FaultSweepPoint> {
+    let points: Vec<(f64, f64)> = losses.iter().map(|&l| (l, 0.0)).collect();
+    sweep_faults_on(pool, &points, base)
+}
+
+/// Sweeps latency scales at zero loss (switch latency vs propagation
+/// delay — where lockstep models and deployments diverge).
+pub fn sweep_latency_scales(
+    pool: &WorkerPool,
+    scales: &[f64],
+    base: &ScenarioConfig,
+) -> Vec<FaultSweepPoint> {
+    let points: Vec<(f64, f64)> = scales.iter().map(|&s| (0.0, s)).collect();
+    sweep_faults_on(pool, &points, base)
+}
+
+/// Renders a sweep as an aligned text table (one row per fault point).
+pub fn render_fault_table(points: &[FaultSweepPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>6} {:>8} {:>12} {:>12} {:>11} {:>7}",
+        "loss", "lat.x", "avg-switch-s", "max-switch-s", "continuity", "stalls"
+    )
+    .unwrap();
+    for p in points {
+        writeln!(
+            out,
+            "{:>6.3} {:>8.1} {:>12.2} {:>12.1} {:>11} {:>7}",
+            p.loss_rate,
+            p.latency_scale,
+            p.avg_switch_secs,
+            p.max_switch_secs,
+            p.continuity
+                .map(|c| format!("{c:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            p.stall_events,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Algorithm, Environment};
+
+    fn base() -> ScenarioConfig {
+        ScenarioConfig {
+            network: Some(NetworkConfig::ideal().with_seed(0xFA17)),
+            ..ScenarioConfig::quick(120, Algorithm::Fast, Environment::Static)
+        }
+    }
+
+    #[test]
+    fn continuity_and_switch_latency_degrade_monotonically_with_loss() {
+        let pool = WorkerPool::new(3);
+        let points = sweep_loss_rates(&pool, &[0.0, 0.1, 0.25], &base());
+        assert_eq!(points.len(), 3);
+        assert!(points[0].completed, "the lossless run must complete");
+        for pair in points.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(
+                b.avg_switch_secs >= a.avg_switch_secs,
+                "switch latency must not improve under loss: {} -> {} at loss {}",
+                a.avg_switch_secs,
+                b.avg_switch_secs,
+                b.loss_rate
+            );
+            let (ca, cb) = (a.continuity.unwrap(), b.continuity.unwrap());
+            assert!(
+                cb <= ca + 1e-9,
+                "continuity must not improve under loss: {ca} -> {cb} at loss {}",
+                b.loss_rate
+            );
+        }
+        assert!(
+            points[2].avg_switch_secs > points[0].avg_switch_secs,
+            "25% loss must measurably slow the switch"
+        );
+        assert!(points[2].continuity.unwrap() < points[0].continuity.unwrap());
+    }
+
+    #[test]
+    fn switch_latency_degrades_monotonically_with_latency_scale() {
+        let pool = WorkerPool::new(3);
+        // Trace RTTs sit well under τ = 1 s, so meaningful degradation
+        // needs scales that push transfers across period boundaries.
+        // Past ~10x the run stops completing within its period budget and
+        // the switch average becomes a partial (misleadingly low) figure,
+        // so the sweep stops at 8x.
+        let points = sweep_latency_scales(&pool, &[0.0, 3.0, 8.0], &base());
+        assert!(points[0].completed && points[1].completed);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].avg_switch_secs >= pair[0].avg_switch_secs,
+                "switch latency must not improve with slower links: {} -> {} at scale {}",
+                pair[0].avg_switch_secs,
+                pair[1].avg_switch_secs,
+                pair[1].latency_scale
+            );
+        }
+        assert!(
+            points[2].avg_switch_secs > points[0].avg_switch_secs,
+            "8x latency must measurably slow the switch"
+        );
+    }
+
+    #[test]
+    fn the_ideal_point_matches_the_period_lockstep_run() {
+        let pool = WorkerPool::new(2);
+        let lockstep = ScenarioConfig {
+            network: None,
+            ..base()
+        };
+        let reference = run_scenario(&lockstep);
+        let point = &sweep_faults_on(&pool, &[(0.0, 0.0)], &base())[0];
+        assert_eq!(point.avg_switch_secs, reference.avg_switch_time_secs());
+        assert_eq!(point.continuity, reference.qoe.continuity());
+        assert_eq!(point.completed, reference.completed);
+    }
+
+    #[test]
+    fn the_fault_table_renders_every_point() {
+        let pool = WorkerPool::new(2);
+        let points = sweep_loss_rates(&pool, &[0.0, 0.1], &base());
+        let table = render_fault_table(&points);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("avg-switch-s"));
+    }
+}

@@ -26,6 +26,9 @@ pub struct RunResult {
     pub completed: bool,
     /// Periods simulated after the switch.
     pub periods_after_switch: u64,
+    /// Cumulative QoE event counters (startups, stalls, continuity) of the
+    /// whole run — the playback-quality side of the fault sweeps.
+    pub qoe: fss_gossip::QoeTotals,
 }
 
 impl RunResult {
@@ -87,6 +90,9 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
     // 3. Assemble the system.
     let mut system = StreamingSystem::new(overlay, config.gossip, config.algorithm.scheduler());
     system.set_capacity_model(config.capacity_model());
+    if let Some(network) = config.network {
+        system.set_network(network);
+    }
     if config.environment == Environment::Dynamic {
         system.set_churn(ChurnModel::new(
             config.churn_fraction,
@@ -122,6 +128,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         ratio_track: RatioTrack::from_samples(&report.ratio_samples),
         completed: report.switch_completed_secs.is_some(),
         periods_after_switch,
+        qoe: report.qoe,
     }
 }
 

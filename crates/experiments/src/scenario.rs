@@ -2,6 +2,7 @@
 
 use fss_core::{FastSwitchScheduler, NormalSwitchScheduler};
 use fss_gossip::{CapacityModel, GossipConfig, SegmentScheduler};
+use fss_overlay::NetworkConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which switch algorithm a run uses.
@@ -78,6 +79,11 @@ pub struct ScenarioConfig {
     /// Whether supplier outbound capacity is per-link (default) or shared
     /// across requesters (the bandwidth-starved ablation).
     pub shared_supplier_capacity: bool,
+    /// Optional message-level network model (latency / loss / jitter).
+    /// `None` (the paper's implicit assumption) runs period-lockstep;
+    /// `Some` switches the run to event-driven stepping — the ideal
+    /// configuration is byte-identical to `None`.
+    pub network: Option<NetworkConfig>,
     /// Protocol parameters.
     pub gossip: GossipConfig,
 }
@@ -96,6 +102,7 @@ impl ScenarioConfig {
             max_switch_periods: 400,
             churn_fraction: 0.05,
             shared_supplier_capacity: false,
+            network: None,
             gossip: GossipConfig::paper_default(),
         }
     }
@@ -139,6 +146,9 @@ impl ScenarioConfig {
                 "churn_fraction {} outside the sensible range [0, 0.5]",
                 self.churn_fraction
             ));
+        }
+        if let Some(network) = self.network {
+            network.validate()?;
         }
         self.gossip.validate().map_err(|e| e.to_string())
     }

@@ -1,0 +1,172 @@
+//! The message-level network model behind the event-driven stepping mode.
+//!
+//! [`NetworkModel`] carries granted segment transfers as scheduled messages
+//! through [`fss_sim::EventQueue`] instead of delivering them inside the
+//! period that resolved them.  Each message leaves its supplier at the
+//! period boundary, survives a Bernoulli data-leg loss draw, and arrives
+//! after the modeled request+data round trip (scaled trace latency) plus a
+//! bounded jitter.  Buffer-map and request legs are modeled at the boundary
+//! itself: a lost buffer map blinds a requester to that supplier for the
+//! period, and a lost request never reaches (or charges) the supplier.
+//!
+//! Determinism model (see `docs/network.md`):
+//!
+//! * every loss/jitter decision is a stateless hash draw from
+//!   [`fss_overlay::net::LinkFaults`] — no RNG cursor exists, so evaluation
+//!   order cannot change an outcome;
+//! * the queue orders ties by insertion sequence, and insertions happen in
+//!   the resolver's deterministic grant order;
+//! * the ideal configuration ([`fss_overlay::NetworkConfig::ideal`])
+//!   schedules every arrival at the boundary that resolved it, reproducing
+//!   period-lockstep stepping byte-for-byte (pinned by the golden-digest
+//!   suite).
+//!
+//! The model allocates only on installation: messages are `Copy` payloads
+//! stored inline in the pre-reserved queue, so steady-state event stepping
+//! stays allocation-free (enforced by `zero_alloc.rs`).
+
+use crate::segment::SegmentId;
+use fss_overlay::net::{LinkFaults, NetworkConfig};
+use fss_overlay::PeerId;
+use fss_sim::{EventQueue, SimTime};
+
+/// One in-flight message: a granted segment on its way to the requester.
+///
+/// `Copy` and pointer-free by design — the queue stores payloads inline, so
+/// scheduling a message never touches the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMessage {
+    /// The node the segment is travelling to.
+    pub requester: PeerId,
+    /// The node that granted and sent it.
+    pub supplier: PeerId,
+    /// The segment being transferred.
+    pub segment: SegmentId,
+}
+
+/// Cumulative counters of the network model (diagnostics only — never part
+/// of [`crate::system::SystemReport`], so enabling them cannot perturb the
+/// golden-pinned report surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Requests suppressed because the supplier's buffer-map advertisement
+    /// was lost (the requester scheduled blind).
+    pub requests_blinded: u64,
+    /// Requests dropped on the request leg (the supplier never saw them, so
+    /// its outbound budget was not charged).
+    pub requests_lost: u64,
+    /// Granted segments handed to the network.
+    pub data_sent: u64,
+    /// Granted segments dropped on the data leg (the supplier's budget was
+    /// already consumed — the paper-faithful cost of a lost transfer).
+    pub data_lost: u64,
+    /// Segments that completed their flight and landed in a buffer.
+    pub data_delivered: u64,
+    /// Segments that arrived after their requester left the overlay.
+    pub data_stale: u64,
+    /// High-water mark of simultaneously in-flight messages.
+    pub max_in_flight: u64,
+}
+
+/// The installed network model: fault streams, the in-flight message queue
+/// and its counters.  Owned by `StreamingSystem`; the system's event-driven
+/// step orchestrates it (fields are crate-visible for that, like the
+/// period scratch).
+#[derive(Debug)]
+pub struct NetworkModel {
+    /// The configured knobs (validated on installation).
+    pub(crate) config: NetworkConfig,
+    /// Stateless per-link loss/jitter draws.
+    pub(crate) faults: LinkFaults,
+    /// In-flight messages ordered by (arrival time, send sequence).
+    pub(crate) queue: EventQueue<NetMessage>,
+    /// Cumulative diagnostics.
+    pub(crate) stats: NetStats,
+    /// The scheduling period `τ` in millisecond ticks (≥ 1).
+    pub(crate) tau_ms: u64,
+}
+
+impl NetworkModel {
+    /// Builds the model and pre-reserves the in-flight queue.
+    ///
+    /// # Panics
+    /// Panics if `config` fails validation or `tau_ms` is zero.
+    pub fn new(config: NetworkConfig, tau_ms: u64, capacity_hint: usize) -> Self {
+        config.validate().expect("valid network configuration");
+        assert!(tau_ms > 0, "the scheduling period must be at least 1 ms");
+        NetworkModel {
+            config,
+            faults: LinkFaults::new(&config),
+            queue: EventQueue::with_capacity(capacity_hint),
+            stats: NetStats::default(),
+            tau_ms,
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Arrival time of the next in-flight message, if any.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// The virtual instant of period boundary `period_index`.
+    pub fn boundary(&self, period_index: u64) -> SimTime {
+        SimTime::from_millis(period_index.saturating_mul(self.tau_ms))
+    }
+}
+
+impl crate::mem::MemoryFootprint for NetworkModel {
+    fn heap_bytes(&self) -> usize {
+        self.queue.capacity() * std::mem::size_of::<fss_sim::ScheduledEvent<NetMessage>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_and_presizes() {
+        let m = NetworkModel::new(NetworkConfig::ideal(), 1_000, 64);
+        assert!(m.queue.capacity() >= 64);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.stats(), NetStats::default());
+        assert_eq!(m.boundary(3), SimTime::from_millis(3_000));
+        assert_eq!(m.next_arrival(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 ms")]
+    fn zero_tau_is_rejected() {
+        NetworkModel::new(NetworkConfig::ideal(), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid network configuration")]
+    fn invalid_config_is_rejected() {
+        NetworkModel::new(NetworkConfig::lossy(1.5, 0), 1_000, 0);
+    }
+
+    #[test]
+    fn messages_are_copy_and_pointer_free() {
+        // The zero-allocation guarantee rests on payloads living inline in
+        // the queue; keep the message small and Copy.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<NetMessage>();
+        assert!(std::mem::size_of::<NetMessage>() <= 24);
+    }
+}

@@ -36,6 +36,7 @@ use crate::config::GossipConfig;
 use crate::directory::{sample_distinct, MembershipView, SampleScratch, ViewConfig};
 use crate::mem::{vec_bytes, MemUsage, MemoryFootprint};
 use crate::membership::MembershipMaintainer;
+use crate::net::{NetMessage, NetStats, NetworkModel};
 use crate::peer::{NeighborInfo, PeerNode};
 use crate::qoe::{QoeRecorder, QoeTotals};
 use crate::scheduler::SegmentScheduler;
@@ -44,8 +45,10 @@ use crate::segment::{SegmentId, SessionDirectory, SourceId};
 use crate::stats::{RatioSample, SwitchRecord, SwitchStats, TrafficCounters};
 use crate::store::{PeerRef, PeerStore};
 use crate::transfer::{RequestBatch, TransferResolver};
+use fss_overlay::net::{MessageKind, NetworkConfig};
 use fss_overlay::{ChurnModel, Overlay, OverlayError, PeerAttrs, PeerId};
 use fss_sim::exec::{DisjointSlots, JobExecutor, SerialExecutor};
+use fss_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Snapshot of everything an experiment needs after (or while) running the
@@ -137,6 +140,11 @@ pub struct StreamingSystem {
     /// Executor running the scheduling-pass chunks.  `None` degrades to the
     /// in-line [`SerialExecutor`] — byte-identical results either way.
     executor: Option<Arc<dyn JobExecutor>>,
+    /// The message-level network model.  `None` (the default) selects
+    /// period-lockstep stepping; `Some` switches [`advance`](Self::advance)
+    /// to the event-driven mode, which carries granted transfers as
+    /// scheduled messages with latency, loss and jitter (see [`crate::net`]).
+    net: Option<NetworkModel>,
 }
 
 impl StreamingSystem {
@@ -192,6 +200,7 @@ impl StreamingSystem {
             scratch: PeriodScratch::default(),
             parallelism: 1,
             executor: None,
+            net: None,
         }
     }
 
@@ -204,6 +213,51 @@ impl StreamingSystem {
     /// default; shared for the bandwidth-starved ablation).
     pub fn set_capacity_model(&mut self, model: crate::transfer::CapacityModel) {
         self.resolver = TransferResolver::with_model(model);
+    }
+
+    /// Installs a message-level network model and switches
+    /// [`advance`](Self::advance) to the event-driven stepping mode.
+    ///
+    /// The in-flight queue is pre-reserved for the steady-state message
+    /// volume (per-period grant count × the latency horizon in periods), so
+    /// event stepping allocates nothing once warm.  Installing the
+    /// [`NetworkConfig::ideal`] model reproduces period-lockstep results
+    /// byte-for-byte (pinned by the golden-digest suite).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or `τ` rounds below 1 ms.
+    pub fn set_network(&mut self, config: NetworkConfig) {
+        let tau_ms = (self.config.tau_secs * 1_000.0).round() as u64;
+        let per_period = (self.config.play_rate * self.config.tau_secs).ceil() as usize + 1;
+        // Horizon: how many periods a message can stay in flight under the
+        // slowest link (request + data leg = 2 one-way = 4 access delays),
+        // clamped against pathological latency models.
+        let slowest_ms = config.latency_scale * 4.0 * self.overlay.latency().max_access_ms()
+            + config.jitter_ms as f64;
+        let horizon = if slowest_ms.is_finite() && tau_ms > 0 {
+            (slowest_ms / tau_ms as f64).ceil().min(64.0) as usize + 2
+        } else {
+            2
+        };
+        let hint = self.overlay.active_count() * per_period * horizon;
+        self.net = Some(NetworkModel::new(config, tau_ms, hint));
+    }
+
+    /// Uninstalls the network model, reverting [`advance`](Self::advance) to
+    /// period-lockstep stepping.  Messages still in flight are discarded.
+    pub fn clear_network(&mut self) {
+        self.net = None;
+    }
+
+    /// The installed network model, if event-driven stepping is active.
+    pub fn network(&self) -> Option<&NetworkModel> {
+        self.net.as_ref()
+    }
+
+    /// The network model's cumulative counters ([`NetStats::default`] when
+    /// no model is installed — period mode neither drops nor delays).
+    pub fn network_stats(&self) -> NetStats {
+        self.net.as_ref().map(|n| n.stats()).unwrap_or_default()
     }
 
     /// Sets the number of scheduling-pass chunks (the fan-out width).
@@ -623,10 +677,11 @@ impl StreamingSystem {
             .expect("membership repair over valid overlay");
     }
 
-    /// Runs `n` scheduling periods.
+    /// Runs `n` scheduling periods through whichever stepping mode is
+    /// installed (see [`advance`](Self::advance)).
     pub fn run_periods(&mut self, n: u64) {
         for _ in 0..n {
-            self.step();
+            self.advance();
         }
     }
 
@@ -645,10 +700,24 @@ impl StreamingSystem {
     pub fn run_until_switched(&mut self, max_periods: u64) -> u64 {
         let mut executed = 0;
         while executed < max_periods && self.switch_completed_secs.is_none() {
-            self.step();
+            self.advance();
             executed += 1;
         }
         executed
+    }
+
+    /// Executes one scheduling period through whichever stepping mode is
+    /// installed: period-lockstep ([`step`](Self::step)) by default, the
+    /// event-driven mode ([`step_event`](Self::step_event)) once
+    /// [`set_network`](Self::set_network) installed a network model.  The
+    /// single dispatch point every runner (period loops, the session
+    /// manager, experiments) goes through.
+    pub fn advance(&mut self) {
+        if self.net.is_some() {
+            self.step_event();
+        } else {
+            self.step();
+        }
     }
 
     /// True when every countable node has finished the old stream and
@@ -658,7 +727,16 @@ impl StreamingSystem {
     }
 
     /// Executes one scheduling period (optimized hot path).
+    ///
+    /// # Panics
+    /// Panics if a network model is installed: stepping past in-flight
+    /// messages would silently strand them — use [`advance`](Self::advance)
+    /// (or [`step_event`](Self::step_event)) instead.
     pub fn step(&mut self) {
+        assert!(
+            self.net.is_none(),
+            "a network model is installed; use advance()/step_event()"
+        );
         let period_traffic_before = self.traffic_total;
 
         // 1. Churn and membership repair.
@@ -696,6 +774,243 @@ impl StreamingSystem {
         self.advance_playback_and_record();
         self.account_switch_window(period_traffic_before);
         self.update_switch_completion();
+    }
+
+    /// Executes one scheduling period in the event-driven mode: in-flight
+    /// messages from earlier periods land first, the period's churn /
+    /// emission / scheduling run at the boundary, granted transfers are
+    /// dispatched as scheduled messages, and every message arriving before
+    /// the next boundary is applied before playback advances.
+    ///
+    /// With the ideal network every grant arrives at the boundary that
+    /// resolved it, in resolver order — the exact state evolution of
+    /// [`step`](Self::step), byte-for-byte (fault draws are skipped
+    /// entirely, so no RNG stream moves either).
+    ///
+    /// # Panics
+    /// Panics if no network model is installed.
+    pub fn step_event(&mut self) {
+        assert!(
+            self.net.is_some(),
+            "event-driven stepping requires set_network()"
+        );
+        let period_traffic_before = self.traffic_total;
+        let (now, next) = {
+            let net = self.net.as_ref().expect("network model installed");
+            (
+                net.boundary(self.period_index),
+                net.boundary(self.period_index + 1),
+            )
+        };
+
+        // 0. Stragglers due exactly at this boundary are visible to this
+        //    period's buffer-map exchange and scheduling.
+        self.drain_arrivals(now, true);
+
+        // 1-3. Identical to the period-lockstep step.
+        self.apply_churn();
+        self.emit_segments();
+        self.collect_requests_scratch();
+
+        // 4. Transfer resolution at the boundary; grants become in-flight
+        //    messages instead of instant inserts.
+        self.dispatch_deliveries(now);
+
+        // 5. Everything arriving strictly inside this period lands before
+        //    playback advances.
+        self.drain_arrivals(next, false);
+
+        // 6. Playback, milestones and accounting, as in period mode.
+        self.period_index += 1;
+        self.advance_playback_and_record();
+        self.account_switch_window(period_traffic_before);
+        self.update_switch_completion();
+    }
+
+    /// The event-mode delivery half: applies buffer-map and request-leg
+    /// loss to the collected batches, resolves the survivors against the
+    /// usual budgets, and schedules each grant's arrival (request leg +
+    /// data leg of scaled trace latency, plus jitter) unless the data leg
+    /// drops it.
+    ///
+    /// Loss semantics per leg:
+    /// * a lost buffer-map advertisement blinds the requester to that
+    ///   supplier for the whole period (all its requests there are
+    ///   suppressed before resolution),
+    /// * a lost request never reaches the supplier, so it does not charge
+    ///   the supplier's outbound budget (later requests may take the slot),
+    /// * a lost data message *does* consume the budget the resolver granted
+    ///   it — upstream bandwidth spent on a transfer that never lands.
+    fn dispatch_deliveries(&mut self, now: SimTime) {
+        let tau = self.config.tau_secs;
+        for budget in self.scratch.outbound_budget.iter_mut() {
+            *budget = 0;
+        }
+        for i in 0..self.scratch.active.len() {
+            let p = self.scratch.active[i] as usize;
+            self.scratch.outbound_budget[p] =
+                (self.scratch.outbound_rate[p] * tau).floor() as usize;
+        }
+
+        let period = self.period_index;
+        {
+            let net = self.net.as_mut().expect("network model installed");
+            if net.config.loss_rate > 0.0 {
+                for batch in self.scratch.batches.iter_mut() {
+                    let requester = batch.requester;
+                    batch.requests.retain(|req| {
+                        if net.faults.lost(
+                            req.supplier,
+                            requester,
+                            MessageKind::BufferMap,
+                            period,
+                            0,
+                        ) {
+                            net.stats.requests_blinded += 1;
+                            return false;
+                        }
+                        if net.faults.lost(
+                            requester,
+                            req.supplier,
+                            MessageKind::Request,
+                            period,
+                            req.segment.value(),
+                        ) {
+                            net.stats.requests_lost += 1;
+                            return false;
+                        }
+                        true
+                    });
+                }
+            }
+        }
+
+        {
+            let PeriodScratch {
+                batches,
+                outbound_budget,
+                deliveries,
+                ..
+            } = &mut self.scratch;
+            self.resolver.resolve_round_into(
+                batches,
+                |p| outbound_budget.get(p as usize).copied().unwrap_or(0),
+                self.period_index,
+                deliveries,
+            );
+        }
+
+        let ideal = {
+            let net = self.net.as_ref().expect("network model installed");
+            net.config.is_ideal()
+        };
+        if ideal {
+            // Zero latency: every grant arrives at this same boundary, in
+            // resolver order — the queue would round-trip each message
+            // through the heap only to pop it straight back out in FIFO
+            // order, so apply the arrivals inline (the `net/*` bench pins
+            // the event-core overhead this short-circuit buys back).
+            for i in 0..self.scratch.deliveries.len() {
+                let d = self.scratch.deliveries[i];
+                let net = self.net.as_mut().expect("network model installed");
+                net.stats.data_sent += 1;
+                if self.overlay.graph().is_active(d.requester) {
+                    self.peers.buffer_mut(d.requester).insert(d.segment);
+                    self.traffic_total.add_data(self.config.segment_bits);
+                    net.stats.data_delivered += 1;
+                } else {
+                    self.traffic_total.add_data(self.config.segment_bits);
+                    net.stats.data_stale += 1;
+                }
+            }
+        } else {
+            let net = self.net.as_mut().expect("network model installed");
+            let latency = self.overlay.latency();
+            for i in 0..self.scratch.deliveries.len() {
+                let d = self.scratch.deliveries[i];
+                net.stats.data_sent += 1;
+                if net.config.loss_rate > 0.0
+                    && net.faults.lost(
+                        d.supplier,
+                        d.requester,
+                        MessageKind::Data,
+                        period,
+                        d.segment.value(),
+                    )
+                {
+                    net.stats.data_lost += 1;
+                    continue;
+                }
+                let rtt_ms =
+                    net.config.latency_scale * latency.round_trip_ms(d.requester, d.supplier);
+                let jitter = net.faults.jitter_ms(
+                    d.supplier,
+                    d.requester,
+                    MessageKind::Data,
+                    period,
+                    d.segment.value(),
+                );
+                let arrival = now.saturating_add(SimDuration::from_millis(
+                    rtt_ms.round().max(0.0) as u64 + jitter,
+                ));
+                net.queue.push(
+                    arrival,
+                    NetMessage {
+                        requester: d.requester,
+                        supplier: d.supplier,
+                        segment: d.segment,
+                    },
+                );
+                net.stats.max_in_flight = net.stats.max_in_flight.max(net.queue.len() as u64);
+            }
+        }
+
+        // Recycle the request vectors for the next period (as deliver_scratch).
+        let PeriodScratch {
+            batches,
+            request_pool,
+            ..
+        } = &mut self.scratch;
+        for batch in batches.drain(..) {
+            let mut requests = batch.requests;
+            requests.clear();
+            request_pool.push(requests);
+        }
+    }
+
+    /// Applies every in-flight message with arrival time `<= bound`
+    /// (inclusive) or `< bound` (exclusive) to its requester's buffer, in
+    /// (arrival time, send sequence) order.  Arrivals for peers that have
+    /// since left the overlay are dropped and counted; duplicate arrivals
+    /// are idempotent ([`crate::buffer::FifoBuffer::insert`]).  Data bits
+    /// are accounted at arrival — the instant period mode accounts them at,
+    /// once latency is zero.
+    fn drain_arrivals(&mut self, bound: SimTime, inclusive: bool) {
+        loop {
+            let popped = {
+                let net = self.net.as_mut().expect("network model installed");
+                if inclusive {
+                    net.queue.pop_at_or_before(bound)
+                } else {
+                    net.queue.pop_before(bound)
+                }
+            };
+            let Some(event) = popped else {
+                return;
+            };
+            let msg = event.payload;
+            let net = self.net.as_mut().expect("network model installed");
+            if self.overlay.graph().is_active(msg.requester) {
+                self.peers.buffer_mut(msg.requester).insert(msg.segment);
+                self.traffic_total.add_data(self.config.segment_bits);
+                net.stats.data_delivered += 1;
+            } else {
+                // The receiver zapped away or churned out mid-flight; the
+                // bits were still spent on the wire.
+                self.traffic_total.add_data(self.config.segment_bits);
+                net.stats.data_stale += 1;
+            }
+        }
     }
 
     /// Builds the run report.  The per-peer switch records fold into their
@@ -1342,6 +1657,7 @@ impl MemoryFootprint for StreamingSystem {
             + vec_bytes(&self.ratio_samples)
             + vec_bytes(&self.sources)
             + self.qoe.heap_bytes()
+            + self.net.as_ref().map_or(0, |n| n.heap_bytes())
     }
 }
 
@@ -2085,5 +2401,139 @@ mod tests {
             "episode durations must cover the starved window"
         );
         assert!(totals.continuity().unwrap() < 1.0);
+    }
+
+    // ------------------------------------------------------------------
+    // event-driven stepping mode
+    // ------------------------------------------------------------------
+
+    /// Runs `periods` on a fresh churned system with an optional network
+    /// model, stepping through `advance()`, and returns it.
+    fn run_with_network(net: Option<NetworkConfig>, periods: u64) -> StreamingSystem {
+        let mut sys = build_system(120, 0xE7E7);
+        let source = sys.overlay().active_peers().next().unwrap();
+        sys.set_churn(ChurnModel::new(0.03, 0.03, 5, 0xC0FFEE));
+        if let Some(config) = net {
+            sys.set_network(config);
+        }
+        sys.start_initial_source(source);
+        sys.run_periods(periods / 2);
+        let target = sys
+            .overlay()
+            .active_peers()
+            .filter(|&p| p != source)
+            .nth(10)
+            .unwrap();
+        sys.switch_source(target);
+        sys.run_periods(periods - periods / 2);
+        sys
+    }
+
+    #[test]
+    fn ideal_event_mode_matches_period_mode_byte_for_byte() {
+        let period = run_with_network(None, 40).report();
+        let event = run_with_network(Some(NetworkConfig::ideal()), 40).report();
+        assert_eq!(period, event);
+    }
+
+    #[test]
+    fn ideal_event_mode_skips_every_fault_draw() {
+        let sys = run_with_network(Some(NetworkConfig::ideal()), 30);
+        let stats = sys.network_stats();
+        assert!(stats.data_sent > 0);
+        assert_eq!(stats.data_sent, stats.data_delivered);
+        assert_eq!(stats.data_lost, 0);
+        assert_eq!(stats.requests_lost + stats.requests_blinded, 0);
+        assert_eq!(stats.data_stale, 0);
+        assert_eq!(sys.network().unwrap().in_flight(), 0);
+    }
+
+    #[test]
+    fn lossy_event_mode_is_deterministic_and_drops_data() {
+        let config = NetworkConfig::lossy(0.15, 0xBAD);
+        let a = run_with_network(Some(config), 40);
+        let b = run_with_network(Some(config), 40);
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.network_stats(), b.network_stats());
+
+        let stats = a.network_stats();
+        assert!(stats.data_lost > 0, "15% loss must drop something");
+        assert!(stats.requests_lost + stats.requests_blinded > 0);
+        let ideal = run_with_network(Some(NetworkConfig::ideal()), 40);
+        assert!(
+            a.report().traffic_total.data_bits < ideal.report().traffic_total.data_bits,
+            "loss must reduce delivered data traffic"
+        );
+        // Every sent message is accounted exactly once.
+        assert_eq!(
+            stats.data_sent,
+            stats.data_lost
+                + stats.data_delivered
+                + stats.data_stale
+                + a.network().unwrap().in_flight() as u64
+        );
+    }
+
+    #[test]
+    fn latency_defers_arrivals_across_period_boundaries() {
+        // Scale the trace RTTs far past τ so every transfer spans at least
+        // one boundary: the first scheduling period completes with data in
+        // flight and none delivered.
+        let mut sys = build_system(80, 0x11AA);
+        let source = sys.overlay().active_peers().next().unwrap();
+        sys.set_network(NetworkConfig::delayed(50.0, 0));
+        sys.start_initial_source(source);
+        sys.run_periods(2);
+        let after_two = sys.network_stats();
+        assert!(after_two.data_sent > 0, "grants must be dispatched");
+        assert!(
+            sys.network().unwrap().in_flight() > 0,
+            "scaled latency must leave messages in flight at the boundary"
+        );
+        sys.run_periods(60);
+        let stats = sys.network_stats();
+        assert!(
+            stats.data_delivered > 0,
+            "delayed messages must eventually land"
+        );
+        assert!(stats.max_in_flight >= after_two.data_sent.min(1));
+        // Jitter alone must also defer nothing incorrectly: totals conserve.
+        assert_eq!(
+            stats.data_sent,
+            stats.data_delivered + stats.data_stale + sys.network().unwrap().in_flight() as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use advance()/step_event()")]
+    fn period_step_refuses_to_strand_in_flight_messages() {
+        let mut sys = build_system(40, 0x5151);
+        let source = sys.overlay().active_peers().next().unwrap();
+        sys.set_network(NetworkConfig::ideal());
+        sys.start_initial_source(source);
+        sys.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "event-driven stepping requires")]
+    fn event_step_requires_a_network_model() {
+        let mut sys = build_system(40, 0x5152);
+        let source = sys.overlay().active_peers().next().unwrap();
+        sys.start_initial_source(source);
+        sys.step_event();
+    }
+
+    #[test]
+    fn clear_network_reverts_to_period_stepping() {
+        let mut sys = build_system(40, 0x5153);
+        let source = sys.overlay().active_peers().next().unwrap();
+        sys.set_network(NetworkConfig::ideal());
+        sys.start_initial_source(source);
+        sys.run_periods(5);
+        sys.clear_network();
+        assert!(sys.network().is_none());
+        sys.run_periods(5);
+        assert_eq!(sys.periods(), 10);
+        assert_eq!(sys.network_stats(), NetStats::default());
     }
 }

@@ -58,6 +58,12 @@ impl LatencyModel {
         2.0 * self.one_way_ms(a, b)
     }
 
+    /// Largest one-way access delay over all peers (milliseconds; 0 when
+    /// empty).  The network model sizes its in-flight horizon from this.
+    pub fn max_access_ms(&self) -> f64 {
+        self.access_ms.iter().copied().fold(0.0, f64::max)
+    }
+
     /// Mean one-way access delay over all peers (milliseconds).
     pub fn mean_access_ms(&self) -> f64 {
         if self.access_ms.is_empty() {
@@ -116,5 +122,48 @@ mod tests {
     fn empty_model_mean_is_zero() {
         assert_eq!(LatencyModel::default().mean_access_ms(), 0.0);
         assert!(LatencyModel::default().is_empty());
+    }
+
+    #[test]
+    fn self_links_cost_twice_the_access_delay() {
+        // A "self link" still traverses the peer's access twice (out and
+        // back in) under the last-mile model; it is never free unless the
+        // peer's own access is.
+        let m = LatencyModel::from_pings(&[100.0, 0.0]);
+        assert_eq!(m.one_way_ms(0, 0), 100.0);
+        assert_eq!(m.round_trip_ms(0, 0), 200.0);
+        assert_eq!(m.one_way_ms(1, 1), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_access_delays_split_the_path_cost() {
+        // A fast peer talking to a slow one pays the slow side's access in
+        // both directions; the pairwise figures stay symmetric even though
+        // the per-peer contributions are not.
+        let m = LatencyModel::from_pings(&[10.0, 300.0]);
+        assert_eq!(m.access_delay_ms(0), 5.0);
+        assert_eq!(m.access_delay_ms(1), 150.0);
+        assert_eq!(m.one_way_ms(0, 1), 155.0);
+        assert_eq!(m.one_way_ms(1, 0), 155.0);
+        assert_eq!(m.round_trip_ms(0, 1), 310.0);
+    }
+
+    #[test]
+    fn zero_and_max_ping_entries_stay_finite() {
+        let m = LatencyModel::from_pings(&[0.0, f64::MAX]);
+        assert_eq!(m.access_delay_ms(0), 0.0);
+        assert!(m.access_delay_ms(1).is_finite());
+        assert_eq!(m.access_delay_ms(1), f64::MAX / 2.0);
+        assert!(m.one_way_ms(0, 1).is_finite());
+        assert_eq!(m.max_access_ms(), f64::MAX / 2.0);
+    }
+
+    #[test]
+    fn max_access_tracks_the_slowest_peer() {
+        assert_eq!(LatencyModel::default().max_access_ms(), 0.0);
+        let mut m = LatencyModel::from_pings(&[40.0, 90.0]);
+        assert_eq!(m.max_access_ms(), 45.0);
+        m.push_peer(200.0);
+        assert_eq!(m.max_access_ms(), 100.0);
     }
 }

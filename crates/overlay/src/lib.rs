@@ -10,6 +10,9 @@
 //!   15 ≈ 450 Kbps),
 //! * [`latency::LatencyModel`] — pairwise latency derived from trace ping
 //!   times,
+//! * [`net`] — link-level fault and delay knobs ([`net::NetworkConfig`])
+//!   and the stateless per-link loss/jitter streams ([`net::LinkFaults`])
+//!   the event-driven network model draws from (see `docs/network.md`),
 //! * [`builder::OverlayBuilder`] — applies the paper's augmentation step
 //!   ("add random edges into each overlay to let every node hold M = 5
 //!   connected neighbors"), and
@@ -24,6 +27,7 @@ pub mod churn;
 pub mod error;
 pub mod graph;
 pub mod latency;
+pub mod net;
 
 pub use bandwidth::{BandwidthConfig, PeerBandwidth};
 pub use builder::{Overlay, OverlayBuilder, OverlayConfig, PeerAttrs};
@@ -31,3 +35,4 @@ pub use churn::{ChurnEvent, ChurnModel};
 pub use error::OverlayError;
 pub use graph::{OverlayGraph, PeerId};
 pub use latency::LatencyModel;
+pub use net::{LinkFaults, MessageKind, NetworkConfig};

@@ -58,7 +58,9 @@ use fss_metrics::{
     AdmissionSummary, DepthWindow, MemSummary, QoeWindow, QuantileSketch, Scorecard, Timeline,
     ZapLoadSummary, ZapSummary,
 };
-use fss_overlay::{BandwidthConfig, ChurnModel, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId};
+use fss_overlay::{
+    BandwidthConfig, ChurnModel, NetworkConfig, OverlayBuilder, OverlayConfig, PeerAttrs, PeerId,
+};
 use fss_sim::exec::DisjointSlots;
 use fss_trace::{GeneratorConfig, TraceGenerator};
 use rand::rngs::SmallRng;
@@ -90,6 +92,13 @@ pub struct SessionConfig {
     /// bounded candidate views).  The default reproduces the legacy
     /// admit-everything-at-the-boundary behaviour exactly.
     pub admission: AdmissionControl,
+    /// Optional message-level network model (latency / loss / jitter).
+    /// `None` (the default) keeps the channels in period-lockstep stepping;
+    /// `Some` installs an event-driven [`fss_gossip::NetworkModel`] per
+    /// channel, with per-channel fault-stream seeds derived from the master
+    /// seed.  The ideal configuration reproduces period-mode reports
+    /// byte-for-byte (pinned by the golden-digest suite).
+    pub network: Option<NetworkConfig>,
 }
 
 /// Admission-control knobs of the membership directory.
@@ -143,6 +152,7 @@ impl SessionConfig {
             seed: 0x5A50_0001,
             gossip: GossipConfig::paper_default(),
             admission: AdmissionControl::unlimited(),
+            network: None,
         }
     }
 
@@ -176,6 +186,9 @@ impl SessionConfig {
                     self.zap_degree
                 ));
             }
+        }
+        if let Some(network) = self.network {
+            network.validate()?;
         }
         self.gossip.validate().map_err(|e| e.to_string())
     }
@@ -357,7 +370,7 @@ impl Channel {
                 self.period,
                 self.queue.len() as u64,
             ));
-            self.system.step();
+            self.system.advance();
             self.period += 1;
             self.harvest(tau);
             self.harvest_qoe(tau);
@@ -574,6 +587,12 @@ impl SessionManager {
                 let source = overlay.active_peers().next().expect("non-empty channel");
                 let mut system = StreamingSystem::new(overlay, config.gossip, scheduler());
                 system.set_executor(pool.as_executor());
+                if let Some(network) = config.network {
+                    // Every channel gets its own fault streams; an ideal
+                    // model stays ideal whatever the seed.
+                    system
+                        .set_network(network.with_seed(network.seed ^ channel_seed ^ 0x00FA_0175));
+                }
                 system.start_initial_source(source);
                 if let Some(bound) = config.admission.view_bound {
                     system.configure_view(ViewConfig {

@@ -51,9 +51,42 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|Reverse(ev)| ev)
     }
 
+    /// Removes and returns the earliest event if it fires at or before
+    /// `bound` (the inclusive drain the event-driven period loop uses at a
+    /// boundary: messages due exactly at the boundary are visible to that
+    /// period's scheduling).
+    pub fn pop_at_or_before(&mut self, bound: SimTime) -> Option<ScheduledEvent<E>> {
+        match self.peek_time() {
+            Some(t) if t <= bound => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the earliest event if it fires strictly before
+    /// `bound` (the exclusive drain used at the *next* boundary: messages
+    /// landing inside the current period are applied before playback).
+    pub fn pop_before(&mut self, bound: SimTime) -> Option<ScheduledEvent<E>> {
+        match self.peek_time() {
+            Some(t) if t < bound => self.pop(),
+            _ => None,
+        }
+    }
+
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Reserves room for at least `additional` more events without
+    /// reallocating (steady-state event stepping pre-sizes the queue so the
+    /// hot path never touches the allocator).
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Number of pending events.
@@ -115,6 +148,74 @@ mod tests {
         assert_eq!(q.pop().map(|e| e.time), None);
     }
 
+    #[test]
+    fn bounded_pops_respect_their_bounds() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "early");
+        q.push(SimTime::from_millis(20), "boundary");
+        q.push(SimTime::from_millis(30), "late");
+
+        let bound = SimTime::from_millis(20);
+        assert_eq!(q.pop_before(bound).map(|e| e.payload), Some("early"));
+        // "boundary" fires exactly at the bound: exclusive pop refuses it,
+        // inclusive pop takes it.
+        assert_eq!(q.pop_before(bound), None);
+        assert_eq!(
+            q.pop_at_or_before(bound).map(|e| e.payload),
+            Some("boundary")
+        );
+        assert_eq!(q.pop_at_or_before(bound), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_millis(30))
+                .map(|e| e.payload),
+            Some("late")
+        );
+        assert_eq!(q.pop_before(SimTime::from_millis(u64::MAX)), None);
+    }
+
+    #[test]
+    fn reserve_and_capacity_presize_the_heap() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.reserve(128);
+        let cap = q.capacity();
+        assert!(cap >= 128);
+        for i in 0..128 {
+            q.push(SimTime::from_millis(i as u64 % 7), i);
+        }
+        assert_eq!(q.capacity(), cap, "pushes within capacity must not grow");
+    }
+
+    /// The naive reference model: a Vec kept stably sorted by time, so
+    /// same-instant entries keep insertion order — the semantics
+    /// `EventQueue` promises via its `(time, seq)` ordering.
+    struct ModelQueue {
+        entries: Vec<(SimTime, u32)>,
+    }
+
+    impl ModelQueue {
+        fn new() -> Self {
+            ModelQueue {
+                entries: Vec::new(),
+            }
+        }
+        fn push(&mut self, time: SimTime, payload: u32) {
+            self.entries.push((time, payload));
+            // Stable sort: ties stay in insertion order.
+            self.entries.sort_by_key(|&(t, _)| t);
+        }
+        fn pop(&mut self) -> Option<(SimTime, u32)> {
+            if self.entries.is_empty() {
+                None
+            } else {
+                Some(self.entries.remove(0))
+            }
+        }
+        fn peek_time(&self) -> Option<SimTime> {
+            self.entries.first().map(|&(t, _)| t)
+        }
+    }
+
     proptest::proptest! {
         /// Whatever the insertion order, events always pop sorted by
         /// (time, insertion-sequence).
@@ -131,6 +232,48 @@ mod tests {
             let mut sorted = popped.clone();
             sorted.sort();
             proptest::prop_assert_eq!(popped, sorted);
+        }
+
+        /// Model equivalence against the naive sorted-Vec reference under
+        /// arbitrary push/pop/peek interleavings: every pop returns the same
+        /// (time, payload) pair, every peek the same time, and same-instant
+        /// events preserve FIFO order (payloads are issued in push order, so
+        /// any FIFO violation shows up as a payload mismatch).
+        #[test]
+        fn prop_matches_sorted_vec_model(
+            ops in proptest::collection::vec((0u8..3, 0u64..50), 1..300)
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = ModelQueue::new();
+            let mut next_payload = 0u32;
+            for (op, time) in ops {
+                match op % 3 {
+                    0 => {
+                        let t = SimTime::from_millis(time);
+                        q.push(t, next_payload);
+                        model.push(t, next_payload);
+                        next_payload += 1;
+                    }
+                    1 => {
+                        let got = q.pop().map(|e| (e.time, e.payload));
+                        proptest::prop_assert_eq!(got, model.pop());
+                    }
+                    _ => {
+                        proptest::prop_assert_eq!(q.peek_time(), model.peek_time());
+                    }
+                }
+                proptest::prop_assert_eq!(q.len(), model.entries.len());
+                proptest::prop_assert_eq!(q.is_empty(), model.entries.is_empty());
+            }
+            // Drain whatever is left: full agreement to the end.
+            loop {
+                let got = q.pop().map(|e| (e.time, e.payload));
+                let want = model.pop();
+                proptest::prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

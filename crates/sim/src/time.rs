@@ -228,6 +228,39 @@ mod tests {
     }
 
     #[test]
+    fn saturating_add_clamps_at_the_clock_ceiling() {
+        let end = SimTime::from_millis(u64::MAX);
+        assert_eq!(end.saturating_add(SimDuration::from_millis(1)), end);
+        assert_eq!(end.saturating_add(SimDuration::from_millis(u64::MAX)), end);
+        // One tick below the ceiling still lands exactly on it.
+        let almost = SimTime::from_millis(u64::MAX - 1);
+        assert_eq!(almost.saturating_add(SimDuration::from_millis(1)), end);
+        // Zero-duration adds are exact everywhere, including at the ceiling.
+        assert_eq!(end.saturating_add(SimDuration::ZERO), end);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_the_origin() {
+        let origin = SimTime::ZERO;
+        let far = SimTime::from_millis(u64::MAX);
+        assert_eq!(origin - far, SimDuration::ZERO);
+        assert_eq!(origin.since(far), SimDuration::ZERO);
+        // The full span is representable in one duration.
+        assert_eq!(far.since(origin).as_millis(), u64::MAX);
+        assert_eq!((far - origin).as_millis(), u64::MAX);
+    }
+
+    #[test]
+    fn fractional_constructors_saturate_instead_of_wrapping() {
+        // Casting an oversized f64 to u64 saturates in Rust, so absurd
+        // second counts clamp to the clock ceiling rather than wrapping.
+        assert_eq!(SimTime::from_secs_f64(f64::MAX).as_millis(), u64::MAX);
+        assert_eq!(SimDuration::from_secs_f64(f64::MAX).as_millis(), u64::MAX);
+        // NaN compares false against <= 0.0 and saturates to 0 on cast.
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+    }
+
+    #[test]
     fn duration_mul_scales() {
         assert_eq!(
             SimDuration::from_millis(250).mul(4),
