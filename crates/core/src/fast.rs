@@ -44,6 +44,7 @@ struct FastScratch {
 
 const NEW_FLAG: u32 = 1 << 31;
 
+// fss-lint: hot-path
 /// Merges the selected old/new segments into `out` ordered by decreasing
 /// priority (ties broken by ascending id), emitting at most `limit` requests.
 fn merge_by_priority_into(
@@ -54,6 +55,13 @@ fn merge_by_priority_into(
     limit: usize,
 ) {
     order.clear();
+    // The index-with-flag encoding needs both sets to fit below the flag bit;
+    // candidate sets are bounded by the buffer window (hundreds), so this
+    // never fires outside adversarial synthetic inputs.
+    assert!(
+        old.len() < NEW_FLAG as usize && new.len() < NEW_FLAG as usize,
+        "candidate set too large for the u31 index encoding"
+    );
     order.extend((0..old.len()).map(|i| i as u32));
     order.extend((0..new.len()).map(|i| i as u32 | NEW_FLAG));
     let segment_of = |key: u32| -> &AssignedSegment {
@@ -82,6 +90,7 @@ fn merge_by_priority_into(
         }
     }));
 }
+// fss-lint: end
 
 impl SegmentScheduler for FastSwitchScheduler {
     fn name(&self) -> &'static str {

@@ -8,9 +8,9 @@
 //! one so the test-suite and the ablation bench can measure how far the
 //! greedy heuristic is from optimal.
 
+use fss_gossip::hasher::FxHashMap;
 use fss_gossip::{SchedulingContext, SegmentId};
 use fss_overlay::PeerId;
-use std::collections::HashMap;
 
 /// The best assignment found by exhaustive search.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +51,7 @@ pub fn optimal_assign(ctx: &SchedulingContext) -> OptimalAssignment {
         priority_mass: 0.0,
     };
     let mut current: Vec<(SegmentId, PeerId)> = Vec::new();
-    let mut load: HashMap<PeerId, f64> = HashMap::new();
+    let mut load: FxHashMap<PeerId, f64> = FxHashMap::default();
     search(ctx, &priorities, 0, &mut current, &mut load, 0.0, &mut best);
     best
 }
@@ -62,7 +62,7 @@ fn search(
     priorities: &[f64],
     index: usize,
     current: &mut Vec<(SegmentId, PeerId)>,
-    load: &mut HashMap<PeerId, f64>,
+    load: &mut FxHashMap<PeerId, f64>,
     mass: f64,
     best: &mut OptimalAssignment,
 ) {

@@ -58,9 +58,10 @@ pub fn diff_scenarios(
 pub fn render_comparison(baseline: &Scorecard, points: &[ScorecardPoint]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "baseline:\n{baseline}").unwrap();
+    // Writes into a String are infallible.
+    let _ = writeln!(out, "baseline:\n{baseline}");
     for point in points {
-        writeln!(out, "variant {}:\n{}", point.label, point.delta).unwrap();
+        let _ = writeln!(out, "variant {}:\n{}", point.label, point.delta);
     }
     out
 }

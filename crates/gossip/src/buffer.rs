@@ -223,7 +223,7 @@ impl FifoBuffer {
         self.base += (zeros as u64) * 64;
         // Every held id sits at or above the new base, so every ring offset
         // is at least `zeros·64`.
-        let delta = (zeros * 64) as u32;
+        let delta: u32 = crate::cast::narrow(zeros * 64, "compacted span within MAX_SPAN_IDS");
         for offset in self.arrivals.iter_mut() {
             *offset -= delta;
         }
@@ -272,7 +272,7 @@ impl FifoBuffer {
             self.base = new_base;
             // Held ids kept their absolute positions, so their offsets from
             // the lowered base all grew by the prepended span.
-            let delta = (shift * 64) as u32;
+            let delta: u32 = crate::cast::narrow(shift * 64, "prepended span within MAX_SPAN_IDS");
             for offset in self.arrivals.iter_mut() {
                 *offset += delta;
             }
@@ -309,6 +309,7 @@ impl FifoBuffer {
         }
     }
 
+    // fss-lint: hot-path
     /// Removes and returns the oldest arrival (the FIFO victim).
     fn evict_oldest(&mut self) -> SegmentId {
         let offset = self.arrivals.pop_front().expect("non-empty when evicting") as usize;
@@ -325,15 +326,16 @@ impl FifoBuffer {
     /// becomes `[0, len)` and the counter restarts at `len`.  One pass over
     /// the set bits, no allocation.
     fn renormalise_epoch(&mut self) {
-        let live = self.arrivals.len() as u32;
+        let live: u32 = crate::cast::narrow(self.arrivals.len(), "live count below EPOCH_LIMIT");
         let delta = self.next_seq - live;
         if delta == 0 {
             return;
         }
         if live > 0 {
             // Live sequence numbers are exactly [delta, next_seq), so the
-            // u16 subtraction below can never underflow.
-            let delta = delta as u16;
+            // u16 subtraction below can never underflow; with live > 0 the
+            // delta itself is at most EPOCH_LIMIT − 1 and fits a u16.
+            let delta: u16 = crate::cast::narrow(delta, "epoch delta bounded by live range");
             for (i, &word) in self.words.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
@@ -402,8 +404,9 @@ impl FifoBuffer {
         }
         // Exact: live seqs lie in [next_seq − len, next_seq), so the
         // difference is within [1, len] — no wrapping involved.
-        Some((self.next_seq - self.seqs[offset] as u32) as usize)
+        Some((self.next_seq - u32::from(self.seqs[offset])) as usize)
     }
+    // fss-lint: end
 
     /// Positions of many segments at once.
     /// The result aligns with `segments`; `None` marks absent segments.
@@ -690,6 +693,34 @@ mod tests {
         }
         assert_eq!(b.epochs(), 3, "three epoch renormalisations expected");
         assert_eq!(b.len(), 600);
+    }
+
+    /// Cast-audit regression: reaching the epoch boundary with an *empty*
+    /// buffer makes the renormalisation delta `EPOCH_LIMIT` itself — one
+    /// past `u16::MAX`.  The `live > 0` guard keeps that value away from
+    /// the checked `u16` narrowing (the old bare `as u16` would have
+    /// silently wrapped it to 0 had the guard ever been dropped).
+    #[test]
+    fn empty_buffer_epoch_renormalisation_avoids_the_u16_edge() {
+        let mut b = FifoBuffer::new(1);
+        // Capacity-1 buffer: every insert evicts its predecessor.
+        for i in 0..EPOCH_LIMIT as u64 {
+            b.insert(SegmentId(i));
+        }
+        assert_eq!(b.epochs(), 0);
+        assert_eq!(b.shrink_front(1), 1);
+        assert!(b.is_empty(), "buffer drained at the epoch boundary");
+        // This insert renormalises with live == 0 and delta == EPOCH_LIMIT.
+        b.insert(SegmentId(EPOCH_LIMIT as u64));
+        assert_eq!(b.epochs(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.position_from_tail(SegmentId(EPOCH_LIMIT as u64)), Some(1));
+        // The fresh epoch keeps counting positions exactly.
+        for i in 1..100u64 {
+            let id = SegmentId(EPOCH_LIMIT as u64 + i);
+            b.insert(id);
+            assert_eq!(b.position_from_tail(id), Some(1));
+        }
     }
 
     /// Satellite audit: window growth zero-fills `seqs` for newly covered

@@ -125,7 +125,10 @@ impl BufferMap {
     pub fn encode(&self) -> Bytes {
         let mut out = BytesMut::with_capacity(8 + 4 + self.words.len() * 8);
         out.put_u64(self.head.value());
-        out.put_u32(self.window as u32);
+        out.put_u32(crate::cast::narrow(
+            self.window,
+            "window size fits the u32 wire field",
+        ));
         for w in &self.words {
             out.put_u64(*w);
         }

@@ -54,6 +54,7 @@
 
 pub mod buffer;
 pub mod buffermap;
+pub mod cast;
 pub mod config;
 pub mod directory;
 pub mod hasher;

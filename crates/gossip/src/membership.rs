@@ -71,7 +71,9 @@ impl MembershipMaintainer {
                 && attempts < max_attempts
             {
                 attempts += 1;
-                let candidate = *active.choose(&mut self.rng).expect("active non-empty");
+                let Some(&candidate) = active.choose(&mut self.rng) else {
+                    break;
+                };
                 if candidate == peer {
                     continue;
                 }

@@ -86,6 +86,7 @@ impl WorkerScratch {
         }
     }
 
+    // fss-lint: hot-path
     /// Enumerates the candidates of one id range by word-level bitset
     /// intersection: `need = range_mask AND NOT own_held`,
     /// `avail = OR(neighbour held)`, candidates = `need AND avail`.
@@ -267,6 +268,7 @@ impl WorkerScratch {
         self.ctx.q2 = q2;
         true
     }
+    // fss-lint: end
 }
 
 impl MemoryFootprint for WorkerScratch {

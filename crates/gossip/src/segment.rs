@@ -166,7 +166,10 @@ impl SessionDirectory {
             (Some(_), None) => panic!("a live session exists; its end id must be provided"),
             (None, Some(_)) => panic!("no live session to close"),
         };
-        let id = SourceId(self.sessions.len() as u32);
+        let id = SourceId(crate::cast::narrow(
+            self.sessions.len(),
+            "session count fits a u32 id",
+        ));
         self.sessions.push(Session {
             id,
             source_peer,

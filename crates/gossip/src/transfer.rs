@@ -33,10 +33,11 @@
 //! map-based implementation; the test-suite asserts both produce identical
 //! deliveries.
 
+use crate::hasher::FxHashSet;
 use crate::scheduler::SegmentRequest;
 use crate::segment::SegmentId;
 use fss_overlay::PeerId;
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The requests one node issues in one period.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -174,6 +175,7 @@ impl TransferResolver {
     /// across batches when a requester appears more than once (the system
     /// emits one batch per node, so the cross-batch pass is skipped on the
     /// hot path).
+    // fss-lint: hot-path
     pub fn resolve_round_into<F>(
         &mut self,
         batches: &[RequestBatch],
@@ -302,6 +304,7 @@ impl TransferResolver {
             group_start = group_end;
         }
     }
+    // fss-lint: end
 
     /// Stable counting sort of `entries` bucketed by supplier.  Returns
     /// `false` (entries untouched) when the bucket table would dwarf the
@@ -395,7 +398,7 @@ impl TransferResolver {
         // Per-supplier queues: supplier -> requester -> pending segments in
         // priority order.  BTreeMaps keep iteration deterministic.
         let mut queues: BTreeMap<PeerId, BTreeMap<PeerId, VecDeque<SegmentId>>> = BTreeMap::new();
-        let mut duplicate_guard: HashSet<(PeerId, SegmentId)> = HashSet::new();
+        let mut duplicate_guard: FxHashSet<(PeerId, SegmentId)> = FxHashSet::default();
 
         for batch in batches {
             for req in batch.requests.iter().take(batch.inbound_budget) {

@@ -1,0 +1,285 @@
+//! `lint.toml` — the checked-in waiver baseline.
+//!
+//! The linter suppresses findings **only** through this file.  Every waiver
+//! names a rule code, a file-scoped path pattern, and a mandatory non-empty
+//! reason; a waiver that matches no current finding is *stale* and fails the
+//! run, so the baseline can only shrink unless someone consciously widens it
+//! in review.
+//!
+//! The parser accepts the small TOML subset the file needs (the workspace
+//! builds offline, so no `toml` crate):
+//!
+//! ```toml
+//! # comment
+//! [[waiver]]
+//! code = "FSS005"
+//! path = "crates/gossip/src/buffer.rs"
+//! reason = "why aborting / truncating here is correct"
+//! ```
+//!
+//! `path` is matched against workspace-relative `/`-separated file paths;
+//! `*` matches within one path segment, `**` matches across segments.
+
+use crate::rules::RuleCode;
+use std::fmt;
+
+/// One waiver entry from `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub code: RuleCode,
+    pub path: String,
+    pub reason: String,
+    /// 1-based line of the `[[waiver]]` header, for error reporting.
+    pub line: usize,
+}
+
+impl Waiver {
+    /// Whether this waiver covers a finding of `code` in `rel_path`.
+    pub fn matches(&self, code: RuleCode, rel_path: &str) -> bool {
+        self.code == code && glob_match(&self.path, rel_path)
+    }
+}
+
+/// A `lint.toml` syntax or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses the waiver baseline.  An empty or missing file means no waivers.
+pub fn parse_waivers(text: &str) -> Result<Vec<Waiver>, ConfigError> {
+    struct Partial {
+        line: usize,
+        code: Option<RuleCode>,
+        path: Option<String>,
+        reason: Option<String>,
+    }
+
+    fn finish(p: Partial) -> Result<Waiver, ConfigError> {
+        let err = |message: String| ConfigError {
+            line: p.line,
+            message,
+        };
+        let code = p
+            .code
+            .ok_or_else(|| err("waiver is missing `code`".into()))?;
+        let path = p
+            .path
+            .ok_or_else(|| err("waiver is missing `path`".into()))?;
+        let reason = p
+            .reason
+            .ok_or_else(|| err("waiver is missing `reason`".into()))?;
+        if reason.trim().is_empty() {
+            return Err(err("waiver `reason` must not be empty".into()));
+        }
+        if path.trim().is_empty() {
+            return Err(err("waiver `path` must not be empty".into()));
+        }
+        Ok(Waiver {
+            code,
+            path,
+            reason,
+            line: p.line,
+        })
+    }
+
+    let mut waivers = Vec::new();
+    let mut current: Option<Partial> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(prev) = current.take() {
+                waivers.push(finish(prev)?);
+            }
+            current = Some(Partial {
+                line: lineno,
+                code: None,
+                path: None,
+                reason: None,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unsupported table `{line}` (only [[waiver]] entries)"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let Some(current) = current.as_mut() else {
+            return Err(ConfigError {
+                line: lineno,
+                message: "key outside a [[waiver]] entry".into(),
+            });
+        };
+        let value = parse_string(value.trim()).ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("value for `{}` must be a double-quoted string", key.trim()),
+        })?;
+        match key.trim() {
+            "code" => {
+                let code = RuleCode::parse(&value).ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: format!("unknown rule code `{value}`"),
+                })?;
+                current.code = Some(code);
+            }
+            "path" => current.path = Some(value),
+            "reason" => current.reason = Some(value),
+            other => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown waiver key `{other}`"),
+                })
+            }
+        }
+    }
+    if let Some(prev) = current.take() {
+        waivers.push(finish(prev)?);
+    }
+    Ok(waivers)
+}
+
+/// Parses a double-quoted TOML basic string (no escapes beyond `\"` and
+/// `\\`, which the baseline never needs but costs nothing to accept).
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return None; // unescaped quote: the suffix we stripped wasn't the end
+        }
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Glob match over `/`-separated paths: `*` within a segment, `**` across.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    fn segments(s: &str) -> Vec<&str> {
+        s.split('/').collect()
+    }
+    fn match_segments(pat: &[&str], path: &[&str]) -> bool {
+        match pat.first() {
+            None => path.is_empty(),
+            Some(&"**") => (0..=path.len()).any(|skip| match_segments(&pat[1..], &path[skip..])),
+            Some(seg) => match path.first() {
+                Some(head) => match_segment(seg, head) && match_segments(&pat[1..], &path[1..]),
+                None => false,
+            },
+        }
+    }
+    fn match_segment(pat: &str, text: &str) -> bool {
+        // Simple `*` wildcard within one segment.
+        let parts: Vec<&str> = pat.split('*').collect();
+        if parts.len() == 1 {
+            return pat == text;
+        }
+        let mut rest = text;
+        for (i, part) in parts.iter().enumerate() {
+            if i == 0 {
+                rest = match rest.strip_prefix(part) {
+                    Some(r) => r,
+                    None => return false,
+                };
+            } else if i == parts.len() - 1 {
+                return part.is_empty() || rest.ends_with(part);
+            } else if !part.is_empty() {
+                match rest.find(part) {
+                    Some(pos) => rest = &rest[pos + part.len()..],
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+    match_segments(&segments(pattern), &segments(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_waivers() {
+        let text = r#"
+# baseline
+[[waiver]]
+code = "FSS005"
+path = "crates/gossip/src/buffer.rs"
+reason = "invariant-backed"
+
+[[waiver]]
+code = "FSS002"
+path = "examples/*.rs"
+reason = "wall-clock display only"
+"#;
+        let waivers = parse_waivers(text).unwrap();
+        assert_eq!(waivers.len(), 2);
+        assert_eq!(waivers[0].code, RuleCode::Fss005);
+        assert!(waivers[0].matches(RuleCode::Fss005, "crates/gossip/src/buffer.rs"));
+        assert!(!waivers[0].matches(RuleCode::Fss004, "crates/gossip/src/buffer.rs"));
+        assert!(waivers[1].matches(RuleCode::Fss002, "examples/flash_crowd.rs"));
+        assert!(!waivers[1].matches(RuleCode::Fss002, "examples/sub/deep.rs"));
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_rejected() {
+        let missing = "[[waiver]]\ncode = \"FSS001\"\npath = \"src/lib.rs\"\n";
+        assert!(parse_waivers(missing).is_err());
+        let empty = "[[waiver]]\ncode = \"FSS001\"\npath = \"src/lib.rs\"\nreason = \"  \"\n";
+        assert!(parse_waivers(empty).is_err());
+    }
+
+    #[test]
+    fn unknown_code_and_keys_are_rejected() {
+        assert!(
+            parse_waivers("[[waiver]]\ncode = \"FSS999\"\npath = \"x\"\nreason = \"r\"\n").is_err()
+        );
+        assert!(parse_waivers("[[waiver]]\nbogus = \"v\"\n").is_err());
+        assert!(parse_waivers("code = \"FSS001\"\n").is_err());
+        assert!(parse_waivers("[other]\n").is_err());
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("crates/**/*.rs", "crates/gossip/src/buffer.rs"));
+        assert!(glob_match("**/buffer.rs", "crates/gossip/src/buffer.rs"));
+        assert!(glob_match("examples/*.rs", "examples/demo.rs"));
+        assert!(!glob_match("examples/*.rs", "examples/a/b.rs"));
+        assert!(glob_match(
+            "crates/gossip/src/**",
+            "crates/gossip/src/net.rs"
+        ));
+        assert!(!glob_match(
+            "crates/gossip/src/*.rs",
+            "crates/core/src/fast.rs"
+        ));
+        assert!(glob_match("a/**", "a"));
+    }
+}

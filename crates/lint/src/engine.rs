@@ -1,0 +1,208 @@
+//! Ties the pieces together: walk the workspace, run every rule on every
+//! file, apply the waiver baseline, detect stale waivers, and render the
+//! outcome.
+
+use crate::config::{parse_waivers, ConfigError, Waiver};
+use crate::rules::{check_file, Finding, RuleCode};
+use crate::walk::workspace_sources;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A finding attributed to its file, after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Located {
+    pub rel_path: String,
+    pub finding: Finding,
+    /// Index into [`Outcome::waivers`] when suppressed.
+    pub waived_by: Option<usize>,
+}
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Every finding, waived or not, sorted by (path, line, col).
+    pub findings: Vec<Located>,
+    /// The baseline, in file order.
+    pub waivers: Vec<Waiver>,
+    /// How many findings each waiver suppressed (same indexing as
+    /// `waivers`); zero marks a stale waiver.
+    pub waiver_hits: Vec<usize>,
+    /// Malformed in-source annotations, rendered as `path:line: message`.
+    pub annotation_errors: Vec<String>,
+}
+
+impl Outcome {
+    pub fn unwaived(&self) -> impl Iterator<Item = &Located> {
+        self.findings.iter().filter(|f| f.waived_by.is_none())
+    }
+
+    pub fn stale_waivers(&self) -> impl Iterator<Item = &Waiver> {
+        self.waivers
+            .iter()
+            .zip(&self.waiver_hits)
+            .filter(|&(_, &hits)| hits == 0)
+            .map(|(w, _)| w)
+    }
+
+    /// True when the workspace is clean: nothing unwaived, nothing stale,
+    /// no malformed annotations.
+    pub fn is_clean(&self) -> bool {
+        self.unwaived().next().is_none()
+            && self.stale_waivers().next().is_none()
+            && self.annotation_errors.is_empty()
+    }
+
+    /// Per-code counts of unwaived findings, for the summary line.
+    fn unwaived_by_code(&self) -> Vec<(RuleCode, usize)> {
+        RuleCode::ALL
+            .into_iter()
+            .map(|code| {
+                (
+                    code,
+                    self.unwaived().filter(|f| f.finding.code == code).count(),
+                )
+            })
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Human-readable report (diagnostics + summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for err in &self.annotation_errors {
+            let _ = writeln!(out, "{err}: malformed fss-lint annotation");
+        }
+        for located in self.unwaived() {
+            let f = &located.finding;
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {}: {}",
+                located.rel_path, f.line, f.col, f.code, f.message
+            );
+        }
+        for waiver in self.stale_waivers() {
+            let _ = writeln!(
+                out,
+                "lint.toml:{}: stale waiver: {} on `{}` matched no finding — delete it \
+                 (reason was: {})",
+                waiver.line, waiver.code, waiver.path, waiver.reason
+            );
+        }
+        let waived = self
+            .findings
+            .iter()
+            .filter(|f| f.waived_by.is_some())
+            .count();
+        let unwaived = self.findings.len() - waived;
+        let stale = self.stale_waivers().count();
+        let _ = write!(
+            out,
+            "fss-lint: {} finding(s): {} unwaived, {} waived by {} waiver(s), {} stale",
+            self.findings.len(),
+            unwaived,
+            waived,
+            self.waivers.len(),
+            stale
+        );
+        if unwaived > 0 {
+            let by_code: Vec<String> = self
+                .unwaived_by_code()
+                .into_iter()
+                .map(|(c, n)| format!("{c}×{n}"))
+                .collect();
+            let _ = write!(out, " [{}]", by_code.join(", "));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The `--list-waivers` view: every waiver with its hit count, so CI
+    /// logs make baseline growth visible at a glance.
+    pub fn render_waivers(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fss-lint waiver baseline ({} entries):",
+            self.waivers.len()
+        );
+        for (waiver, hits) in self.waivers.iter().zip(&self.waiver_hits) {
+            let _ = writeln!(
+                out,
+                "  {} {:<40} suppresses {:>2}  — {}",
+                waiver.code, waiver.path, hits, waiver.reason
+            );
+        }
+        out
+    }
+}
+
+/// An error that prevents linting from producing a verdict at all.
+#[derive(Debug)]
+pub enum LintError {
+    Io(io::Error),
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(e) => write!(f, "io error: {e}"),
+            LintError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<io::Error> for LintError {
+    fn from(e: io::Error) -> Self {
+        LintError::Io(e)
+    }
+}
+
+impl From<ConfigError> for LintError {
+    fn from(e: ConfigError) -> Self {
+        LintError::Config(e)
+    }
+}
+
+/// Lints the workspace rooted at `root` against the waiver baseline at
+/// `root/lint.toml` (absent file = empty baseline).
+pub fn lint_workspace(root: &Path) -> Result<Outcome, LintError> {
+    let baseline_path = root.join("lint.toml");
+    let waivers = if baseline_path.is_file() {
+        parse_waivers(&fs::read_to_string(&baseline_path)?)?
+    } else {
+        Vec::new()
+    };
+    let sources = workspace_sources(root)?;
+    let mut outcome = Outcome {
+        waiver_hits: vec![0; waivers.len()],
+        waivers,
+        ..Outcome::default()
+    };
+    for file in sources {
+        let source = fs::read_to_string(&file.abs_path)?;
+        let report = check_file(&file.rel_path, &source);
+        for err in report.errors {
+            outcome
+                .annotation_errors
+                .push(format!("{}:{}: {}", file.rel_path, err.line, err.message));
+        }
+        for finding in report.findings {
+            let waived_by = outcome
+                .waivers
+                .iter()
+                .position(|w| w.matches(finding.code, &file.rel_path));
+            if let Some(idx) = waived_by {
+                outcome.waiver_hits[idx] += 1;
+            }
+            outcome.findings.push(Located {
+                rel_path: file.rel_path.clone(),
+                finding,
+                waived_by,
+            });
+        }
+    }
+    Ok(outcome)
+}

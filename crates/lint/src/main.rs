@@ -1,0 +1,76 @@
+//! The `fss-lint` binary.
+//!
+//! ```text
+//! fss-lint [--root DIR] [--list-waivers]
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean (no unwaived findings, no
+//! stale waivers), 1 on violations, 2 on usage / configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_waivers = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("fss-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-waivers" => list_waivers = true,
+            "--help" | "-h" => {
+                println!("usage: fss-lint [--root DIR] [--list-waivers]");
+                println!("lints the workspace against FSS001-FSS005 (see docs/lint.md)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fss-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("fss-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root.or_else(|| fss_lint::walk::find_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "fss-lint: no workspace root found from {} (pass --root)",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match fss_lint::lint_workspace(&root) {
+        Ok(outcome) => {
+            if list_waivers {
+                print!("{}", outcome.render_waivers());
+            }
+            print!("{}", outcome.render());
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else if outcome.annotation_errors.is_empty() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("fss-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Workspace source discovery.
+//!
+//! The linter walks the directories that hold first-party Rust code —
+//! `src/`, `crates/`, `examples/`, `tests/` — and skips what it must never
+//! lint: `target/`, the offline dependency stand-ins under `vendor/` (their
+//! job is to mimic third-party APIs, rules don't apply), and the linter's own
+//! rule fixtures (which violate every rule on purpose).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names (relative to the workspace root) that are walked.
+const ROOTS: &[&str] = &["src", "crates", "examples", "tests"];
+
+/// Path prefixes (workspace-relative, `/`-separated) that are skipped.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (the form rules and
+    /// waivers match against).
+    pub rel_path: String,
+    /// Absolute (or root-joined) path for reading.
+    pub abs_path: PathBuf,
+}
+
+/// Collects every `.rs` file under the workspace `root`, sorted by relative
+/// path so diagnostics and digests are stable across filesystems.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for dir in ROOTS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            collect(&abs, dir, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn collect(dir: &Path, rel: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<(String, PathBuf, bool)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, entry.path(), is_dir));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, path, is_dir) in entries {
+        let rel_child = format!("{rel}/{name}");
+        if SKIP_PREFIXES.iter().any(|p| rel_child.starts_with(p)) || name == "target" {
+            continue;
+        }
+        if is_dir {
+            collect(&path, &rel_child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(SourceFile {
+                rel_path: rel_child,
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: the given directory or the nearest ancestor
+/// containing both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,2 @@
+// fss-lint: hotpath
+pub fn typo_in_the_directive() {}

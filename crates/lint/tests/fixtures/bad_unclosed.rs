@@ -1,0 +1,2 @@
+// fss-lint: hot-path
+pub fn never_closed() {}

@@ -1,0 +1,28 @@
+//! FSS004 fixture: narrowing `as` casts flagged in protocol-state paths;
+//! widenings, comments, strings and `#[cfg(test)]` items stay quiet.
+//! Checked as `crates/gossip/src/fixture.rs` and as
+//! `crates/metrics/src/fixture.rs` (the latter expects zero findings).
+pub fn narrowing(x: usize, y: u64) -> (u8, u16, u32) {
+    let a = x as u8; //~ FSS004
+    let b = x as u16; //~ FSS004
+    let c = y as u32; //~ FSS004
+    (a, b, c)
+}
+
+pub fn widening(x: u16) -> u64 {
+    let w = x as u64;
+    let u = w as usize;
+    u as u64
+}
+
+pub fn not_code() {
+    // a cast written as u16 inside a comment is quiet
+    let _ = "as u32";
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(x: usize) -> u8 {
+        x as u8
+    }
+}

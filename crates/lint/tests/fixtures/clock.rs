@@ -1,0 +1,21 @@
+//! FSS002 fixture: wall-clock and entropy reads flagged outside the bench
+//! crate; strings, comments and near-miss identifiers stay quiet.
+//! Checked as `crates/demo/src/clock.rs` and as `crates/bench/src/clock.rs`
+//! (the latter expects zero findings).
+pub fn bad() {
+    let _t = std::time::Instant::now(); //~ FSS002
+    let _s = std::time::SystemTime::now(); //~ FSS002
+    let _r = rand::thread_rng(); //~ FSS002
+    let _g = SmallRng::from_entropy(); //~ FSS002
+}
+
+pub fn not_code() {
+    // Instant::now inside a comment is not a read.
+    let _ = "SystemTime::now() inside a string";
+    let _ = 'x'; // thread_rng mentioned after a char literal
+}
+
+pub fn near_miss() {
+    let _ = instant_now();
+    let _ = Instant::nowhere();
+}

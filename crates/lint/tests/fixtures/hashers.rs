@@ -1,0 +1,27 @@
+//! FSS001 fixture: default hashers flagged; explicit hashers, strings,
+//! comments and `#[cfg(test)]` items stay quiet.
+//! Checked as `crates/demo/src/lib.rs` (library, not protocol-state).
+use std::collections::HashMap; //~ FSS001
+use std::collections::HashSet; //~ FSS001
+
+pub type Bad = HashMap<u32, u32>; //~ FSS001
+pub type BadSet = HashSet<u32>; //~ FSS001
+pub type BadTuple = HashSet<(u32, u64)>; //~ FSS001
+pub type Ok1 = HashMap<u32, u32, FxBuildHasher>;
+pub type Ok2 = HashSet<u32, FxBuildHasher>;
+pub type OkTuple = HashSet<(u32, u64), FxBuildHasher>;
+
+// A comment mentioning HashMap<u8, u8> is not code.
+pub fn strings() {
+    let _ = "HashMap<u32, u32> inside a string";
+    let _ = r#"HashSet inside a raw string"#;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    fn f() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

@@ -1,0 +1,31 @@
+//! FSS005 fixture: `.unwrap()` / `.expect()` flagged in library code; the
+//! `unwrap_or*` family, strings, comments and `#[cfg(test)]` items stay
+//! quiet.  Checked as `crates/demo/src/panics.rs` and as
+//! `crates/demo/tests/panics.rs` (the latter expects zero findings).
+pub fn bad(o: Option<u8>) -> u8 {
+    o.unwrap() //~ FSS005
+}
+
+pub fn bad2(r: Result<u8, u8>) -> u8 {
+    r.expect("msg") //~ FSS005
+}
+
+pub fn fine(o: Option<u8>) -> u8 {
+    o.unwrap_or(0)
+}
+
+pub fn fine2(o: Option<u8>) -> u8 {
+    o.unwrap_or_else(|| 0)
+}
+
+pub fn not_code() {
+    let _ = ".unwrap() inside a string";
+    // .expect( inside a comment
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(o: Option<u8>) -> u8 {
+        o.unwrap()
+    }
+}

@@ -1,0 +1,116 @@
+//! Fixture battery: every rule fires exactly on the lines its `//~ CODE`
+//! markers name — and nowhere else, in particular never inside strings or
+//! comments.  The fixture sources live under `tests/fixtures/` (excluded
+//! from the workspace walk) and each is checked under the workspace-relative
+//! path its header documents, since path class decides which rules apply.
+
+use fss_lint::{check_file, RuleCode};
+use std::fs;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    match fs::read_to_string(&path) {
+        Ok(source) => source,
+        Err(e) => panic!("reading fixture {}: {e}", path.display()),
+    }
+}
+
+/// Expected `(line, code)` pairs parsed from the `//~ CODE` markers.
+fn expected(source: &str) -> Vec<(usize, RuleCode)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let Some(idx) = line.find("//~") else {
+            continue;
+        };
+        for token in line[idx + 3..].split_whitespace() {
+            match RuleCode::parse(token) {
+                Some(code) => out.push((i + 1, code)),
+                None => panic!("bad marker `{token}` on line {}", i + 1),
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Asserts the findings for `name` checked under `rel_path` match its
+/// markers exactly.
+fn assert_matches_markers(rel_path: &str, name: &str) {
+    let source = fixture(name);
+    let report = check_file(rel_path, &source);
+    assert!(report.errors.is_empty(), "{name}: {:?}", report.errors);
+    let mut actual: Vec<(usize, RuleCode)> =
+        report.findings.iter().map(|f| (f.line, f.code)).collect();
+    actual.sort();
+    assert_eq!(
+        actual,
+        expected(&source),
+        "{name} under {rel_path}: findings disagree with the //~ markers"
+    );
+}
+
+/// Asserts `name` checked under `rel_path` yields no findings at all (the
+/// path class turns the relevant rule off).
+fn assert_quiet(rel_path: &str, name: &str) {
+    let source = fixture(name);
+    let report = check_file(rel_path, &source);
+    assert!(report.errors.is_empty(), "{name}: {:?}", report.errors);
+    assert!(
+        report.findings.is_empty(),
+        "{name} under {rel_path} should be exempt, found {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn fss001_default_hashers_fire_exactly_on_marked_lines() {
+    assert_matches_markers("crates/demo/src/lib.rs", "hashers.rs");
+    // Outside library paths the rule is off entirely.
+    assert_quiet("crates/demo/tests/it.rs", "hashers.rs");
+}
+
+#[test]
+fn fss002_clock_reads_fire_exactly_on_marked_lines() {
+    assert_matches_markers("crates/demo/src/clock.rs", "clock.rs");
+    // The bench crate may read wall clocks.
+    assert_quiet("crates/bench/src/clock.rs", "clock.rs");
+}
+
+#[test]
+fn fss003_hot_path_allocations_fire_exactly_on_marked_lines() {
+    assert_matches_markers("crates/demo/src/hot.rs", "hotpath.rs");
+}
+
+#[test]
+fn fss004_narrowing_casts_fire_exactly_on_marked_lines() {
+    assert_matches_markers("crates/gossip/src/fixture.rs", "casts.rs");
+    assert_matches_markers("crates/core/src/fixture.rs", "casts.rs");
+    // Non-protocol-state crates are exempt.
+    assert_quiet("crates/metrics/src/fixture.rs", "casts.rs");
+}
+
+#[test]
+fn fss005_unwrap_expect_fire_exactly_on_marked_lines() {
+    assert_matches_markers("crates/demo/src/panics.rs", "panics.rs");
+    // Integration tests are not library code.
+    assert_quiet("crates/demo/tests/panics.rs", "panics.rs");
+}
+
+#[test]
+fn unbalanced_hot_path_markers_are_annotation_errors() {
+    let report = check_file("crates/demo/src/bad.rs", &fixture("bad_unclosed.rs"));
+    assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+    assert!(report.errors[0].message.contains("never closed"));
+}
+
+#[test]
+fn unknown_directives_are_annotation_errors() {
+    let report = check_file("crates/demo/src/bad.rs", &fixture("bad_directive.rs"));
+    assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+    assert!(report.errors[0]
+        .message
+        .contains("unknown fss-lint directive"));
+}

@@ -1,0 +1,119 @@
+//! Property tests for the surface lexer: arbitrary nestings of comment and
+//! string syntax never panic, and the lex result always round-trips spans —
+//! the regions partition the input exactly, the masked copy is byte-for-byte
+//! the same length with newlines preserved, and code bytes pass through
+//! untouched.
+
+use fss_lint::lexer::{lex, RegionKind};
+
+/// Token soup the generator draws from: every opener/closer/escape that
+/// drives the lexer's state machine, plus innocuous filler.  Unterminated
+/// constructs are *expected* outputs of this table — the lexer must run them
+/// to EOF without panicking.
+const TOKENS: &[&str] = &[
+    "//",
+    "/*",
+    "*/",
+    "*",
+    "/",
+    "\n",
+    "\"",
+    "\\\"",
+    "\\\\",
+    "'",
+    "b'",
+    "r\"",
+    "r#\"",
+    "\"#",
+    "br##\"",
+    "\"##",
+    "#",
+    "r#ident",
+    "'a",
+    "'x'",
+    "ident",
+    "fss-lint:",
+    "hot-path",
+    "HashMap",
+    ".unwrap()",
+    "as u16",
+    " ",
+    "{",
+    "}",
+    "<",
+    ">",
+    ",",
+    ";",
+    "é",
+    "∀",
+];
+
+fn soup(indices: &[usize]) -> String {
+    indices.iter().map(|&i| TOKENS[i % TOKENS.len()]).collect()
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(600))]
+
+    /// Lexing arbitrary comment/string nestings never panics, and the spans
+    /// round-trip: regions tile `0..len` in order, masked output has the
+    /// same byte length, newlines survive masking, non-code bytes are
+    /// blanked and code bytes are untouched.
+    #[test]
+    fn lex_never_panics_and_round_trips_spans(indices in proptest::collection::vec(0usize..1000, 0..60)) {
+        let source = soup(&indices);
+        let lexed = lex(&source);
+        let bytes = source.as_bytes();
+
+        proptest::prop_assert_eq!(lexed.masked.len(), bytes.len());
+
+        // Regions partition the input exactly, in order, without gaps.
+        let mut cursor = 0usize;
+        for region in &lexed.regions {
+            proptest::prop_assert_eq!(region.start, cursor);
+            proptest::prop_assert!(region.end > region.start);
+            cursor = region.end;
+        }
+        proptest::prop_assert_eq!(cursor, bytes.len());
+
+        for region in &lexed.regions {
+            let span = region.start..region.end;
+            for (&masked, &raw) in lexed.masked[span.clone()].iter().zip(&bytes[span]) {
+                if region.kind == RegionKind::Code {
+                    proptest::prop_assert_eq!(masked, raw);
+                } else {
+                    let expect = if raw == b'\n' { b'\n' } else { b' ' };
+                    proptest::prop_assert_eq!(masked, expect);
+                }
+            }
+        }
+
+        // line_col stays consistent with the raw newline count at every
+        // region boundary.
+        for region in &lexed.regions {
+            let (line, col) = lexed.line_col(region.start);
+            let newlines = bytes[..region.start].iter().filter(|&&b| b == b'\n').count();
+            proptest::prop_assert_eq!(line, newlines + 1);
+            proptest::prop_assert!(col >= 1);
+        }
+    }
+
+    /// Masking is a fixed point: every comment/literal opener either started
+    /// a region (and was blanked) or sat inside one (and was blanked), so
+    /// re-lexing the masked output must change nothing.  A difference would
+    /// mean the two passes disagreed on where a literal begins — exactly the
+    /// ambiguity that would let a rule fire inside a string.
+    #[test]
+    fn masking_is_a_fixed_point(indices in proptest::collection::vec(0usize..1000, 0..40)) {
+        let source = soup(&indices);
+        let first = lex(&source);
+        let masked_str = match String::from_utf8(first.masked.clone()) {
+            Ok(s) => s,
+            Err(e) => return Err(proptest::TestCaseError::fail(format!(
+                "masking produced invalid UTF-8: {e}"
+            ))),
+        };
+        let second = lex(&masked_str);
+        proptest::prop_assert_eq!(&second.masked, &first.masked);
+    }
+}

@@ -1,0 +1,20 @@
+//! The workspace must lint clean: zero unwaived findings, zero stale
+//! waivers, zero annotation errors.  Running this from the default test
+//! suite means plain `cargo test` enforces the same gate CI runs explicitly
+//! via `cargo run -p fss-lint`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = match fss_lint::lint_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("lint run failed: {e}"),
+    };
+    assert!(
+        outcome.is_clean(),
+        "the workspace does not lint clean:\n{}",
+        outcome.render()
+    );
+}

@@ -487,7 +487,8 @@ impl Scorecard {
         use std::fmt::Write;
         let mut s = String::new();
         for (key, value) in self.fields() {
-            writeln!(s, "{key} = {value}").unwrap();
+            // Writes into a String are infallible.
+            let _ = writeln!(s, "{key} = {value}");
         }
         s
     }

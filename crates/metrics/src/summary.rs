@@ -90,7 +90,7 @@ impl SortedSample {
     /// the only allocation and the only sort this sample will ever do.
     pub fn from_values(values: &[f64]) -> SortedSample {
         let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        finite.sort_by(f64::total_cmp);
         SortedSample { values: finite }
     }
 

@@ -69,11 +69,12 @@ impl RatioTrack {
         if secs >= self.rows[self.rows.len() - 1].secs {
             return value(&self.rows[self.rows.len() - 1]);
         }
-        let after = self
-            .rows
-            .iter()
-            .position(|r| r.secs >= secs)
-            .expect("bounded above");
+        let after = match self.rows.iter().position(|r| r.secs >= secs) {
+            Some(i) => i,
+            // Unreachable given the bound check above; clamping to the last
+            // row keeps the interpolation total anyway.
+            None => return value(&self.rows[self.rows.len() - 1]),
+        };
         let (a, b) = (&self.rows[after - 1], &self.rows[after]);
         let span = b.secs - a.secs;
         if span <= 0.0 {

@@ -41,8 +41,9 @@ impl ZapLoadSummary {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-            .map(|(i, _)| i)
-            .expect("non-empty arrivals");
+            // `arrivals` is non-empty here (guarded above); 0 is the
+            // convention already used for the empty summary.
+            .map_or(0, |(i, _)| i);
         // Gini via the sorted-rank formula:
         //   G = (2 Σ_i i·x_i) / (n Σ x) − (n + 1) / n,   x sorted ascending,
         // with i ranging 1..=n.

@@ -9,6 +9,7 @@ use crate::bandwidth::{BandwidthConfig, PeerBandwidth};
 use crate::error::OverlayError;
 use crate::graph::{OverlayGraph, PeerId};
 use crate::latency::LatencyModel;
+use fss_sim::hasher::FxHashMap;
 use fss_trace::Trace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -174,7 +175,7 @@ impl OverlayBuilder {
 
         // Trace node ids may be arbitrary; map them onto dense peer ids in
         // the order they appear (the generator already emits them densely).
-        let index_of: std::collections::HashMap<u32, PeerId> = trace
+        let index_of: FxHashMap<u32, PeerId> = trace
             .nodes
             .iter()
             .enumerate()

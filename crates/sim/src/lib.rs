@@ -10,7 +10,10 @@
 //! * [`Engine`] — a generic event loop driving a user supplied
 //!   [`EventHandler`],
 //! * [`RngFactory`] — reproducible per-stream random number generators derived
-//!   from a single master seed, and
+//!   from a single master seed,
+//! * [`hasher`] — the deterministic `FxHashMap`/`FxHashSet` aliases every
+//!   workspace crate uses instead of default-`RandomState` collections
+//!   (statically enforced by `fss-lint` rule FSS001), and
 //! * [`PeriodDriver`] — a convenience driver for period-synchronous protocols
 //!   (the gossip scheduling period `τ` of the paper), and
 //! * [`JobExecutor`] / [`ScopedJob`] — the scoped fan-out contract shared by
@@ -25,6 +28,7 @@
 pub mod engine;
 pub mod event;
 pub mod exec;
+pub mod hasher;
 pub mod period;
 pub mod queue;
 pub mod rng;

@@ -2,8 +2,8 @@
 
 use crate::error::TraceError;
 use crate::speed::AccessSpeed;
+use fss_sim::hasher::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -76,7 +76,8 @@ impl Trace {
         if nodes.is_empty() {
             return Err(TraceError::Empty);
         }
-        let mut seen = HashSet::with_capacity(nodes.len());
+        let mut seen = FxHashSet::default();
+        seen.reserve(nodes.len());
         for n in &nodes {
             if !seen.insert(n.id) {
                 return Err(TraceError::DuplicateNode { node: n.id });
@@ -125,7 +126,7 @@ impl Trace {
 
     /// Per-node degree histogram (index = node id position in `nodes`).
     pub fn degrees(&self) -> Vec<usize> {
-        let index_of: std::collections::HashMap<NodeId, usize> = self
+        let index_of: FxHashMap<NodeId, usize> = self
             .nodes
             .iter()
             .enumerate()
