@@ -23,6 +23,11 @@
 //! * `qoe_overhead/*` — one steady period with QoE event recording on
 //!   (the default) versus off: the cost of the streaming telemetry layer
 //!   on the playback pass;
+//! * `locality/*` — the shard-major fused period pipeline (the default)
+//!   against the phase-major ordering it replaced
+//!   (`set_phase_major(true)`), unsharded and on an 8-shard store: the
+//!   cache-locality dividend of running every per-peer phase while the
+//!   shard's columns are hot, with a gated million-peer before/after lane;
 //! * `net/*` — the event-driven network core against plain period
 //!   stepping: `period_mode_1k` is the lockstep baseline, `event_ideal_1k`
 //!   routes the same period through `advance()` with the ideal (zero
@@ -52,6 +57,12 @@ const WARMUP_PERIODS: u64 = 60;
 
 /// Builds a 1k-node system streamed to steady state.
 fn steady_system(seed: u64) -> StreamingSystem {
+    sharded_steady_system(seed, 1)
+}
+
+/// Builds a 1k-node system on `shards` store shards, streamed to steady
+/// state.
+fn sharded_steady_system(seed: u64, shards: usize) -> StreamingSystem {
     let trace = TraceGenerator::new(GeneratorConfig::sized(NODES, seed)).generate("throughput");
     let overlay = OverlayBuilder::paper_default().build(&trace).unwrap();
     let source = overlay.active_peers().next().unwrap();
@@ -60,6 +71,7 @@ fn steady_system(seed: u64) -> StreamingSystem {
         GossipConfig::paper_default(),
         Box::new(FastSwitchScheduler::new()),
     );
+    sys.set_shards(shards);
     sys.start_initial_source(source);
     sys.run_periods(WARMUP_PERIODS);
     sys
@@ -159,11 +171,59 @@ fn bench_million_peers(c: &mut Criterion) {
     group.bench_function("optimized_period_1m_sharded", |b| b.iter(|| sys.step()));
     group.finish();
 
+    // The million-peer before/after for the fused pipeline: the same warm
+    // system stepped phase-major.  The working set dwarfs every cache
+    // level, so this lane is where the locality restructuring pays most.
+    let mut group = c.benchmark_group("locality");
+    group.sample_size(10);
+    sys.set_phase_major(true);
+    group.bench_function("phase_major_period_1m_sharded", |b| {
+        b.iter(|| sys.advance())
+    });
+    sys.set_phase_major(false);
+    group.finish();
+
     let mut group = c.benchmark_group("mem");
     group.sample_size(10);
     group.bench_function("usage_sweep_1m", |b| {
         b.iter(|| criterion::black_box(sys.memory_usage()))
     });
+    group.finish();
+}
+
+/// The `locality/*` lane: the cache-locality dividend of the shard-major
+/// fused period pipeline.
+///
+/// * `fused_period_1k` / `fused_period_1k_sharded8` — the default `step()`:
+///   per shard run, deliveries are applied and playback advanced while the
+///   shard's hot columns are resident;
+/// * `phase_major_period_1k` / `phase_major_period_1k_sharded8` — the
+///   phase-major ordering the fusion replaced (every phase sweeps all
+///   shards before the next starts), kept for one release as the
+///   equivalence oracle.
+///
+/// Both orderings produce byte-identical reports (pinned by
+/// `fused_equivalence.rs`); the delta here is pure memory locality.
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locality");
+    group.sample_size(10);
+
+    let mut sys = steady_system(1);
+    group.bench_function("fused_period_1k", |b| b.iter(|| sys.step()));
+
+    let mut sys = steady_system(1);
+    sys.set_phase_major(true);
+    group.bench_function("phase_major_period_1k", |b| b.iter(|| sys.advance()));
+
+    let mut sys = sharded_steady_system(1, 8);
+    group.bench_function("fused_period_1k_sharded8", |b| b.iter(|| sys.step()));
+
+    let mut sys = sharded_steady_system(1, 8);
+    sys.set_phase_major(true);
+    group.bench_function("phase_major_period_1k_sharded8", |b| {
+        b.iter(|| sys.advance())
+    });
+
     group.finish();
 }
 
@@ -396,6 +456,7 @@ criterion_group!(
     bench_period_throughput,
     bench_memory_footprint,
     bench_million_peers,
+    bench_locality,
     bench_zap_admission,
     bench_qoe_overhead,
     bench_net_overhead

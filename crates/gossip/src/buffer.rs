@@ -197,6 +197,7 @@ impl FifoBuffer {
     /// This is the peer's advertised buffer map, maintained incrementally:
     /// neighbours intersect these words with their own "needed" windows to
     /// enumerate candidate segments without per-id probing.
+    #[inline]
     pub fn availability_word(&self, aligned: u64) -> u64 {
         debug_assert_eq!(aligned % 64, 0);
         if aligned < self.base {
@@ -488,11 +489,21 @@ impl FifoBuffer {
     }
 
     /// Greatest held id, if any (O(1), cached).
+    ///
+    /// Marked `#[inline]`: the fused scheduling gather calls this across
+    /// crate boundaries for every neighbour of every active peer — the call
+    /// must collapse to a single field load so the chunk walk stays bound by
+    /// the prefetched column reads, not by call overhead.
+    #[inline]
     pub fn max_id(&self) -> Option<SegmentId> {
         self.max
     }
 
     /// Reserved heap bytes per component (ring / window / sequence array).
+    ///
+    /// `#[inline]` for the shard-major meter sweep, which calls this per
+    /// active peer right after prefetching the buffer struct.
+    #[inline]
     pub fn mem_breakdown(&self) -> BufferMemBreakdown {
         BufferMemBreakdown {
             ring_bytes: self.arrivals.capacity() * std::mem::size_of::<u32>(),

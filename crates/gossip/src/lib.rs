@@ -63,6 +63,7 @@ pub mod membership;
 pub mod net;
 pub mod peer;
 pub mod playback;
+pub(crate) mod prefetch;
 pub mod qoe;
 pub mod scheduler;
 pub mod scratch;
@@ -87,6 +88,6 @@ pub use scheduler::{
 };
 pub use segment::{SegmentId, Session, SessionDirectory, SourceId};
 pub use stats::{MilestoneStat, RatioSample, SwitchRecord, SwitchStats, TrafficCounters};
-pub use store::{PeerMut, PeerRef, PeerShard, PeerStore};
+pub use store::{PeerHeader, PeerMut, PeerRef, PeerShard, PeerStore};
 pub use system::{StreamingSystem, SystemReport};
 pub use transfer::{CapacityModel, DeliveredSegment, RequestBatch, TransferResolver};

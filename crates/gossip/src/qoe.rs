@@ -211,6 +211,15 @@ impl QoeRecorder {
     /// `started` / `stalls` are the peer's post-advance
     /// `PlaybackState::has_started()` / `stalls()`; `played` is the number
     /// of segments it played this period.
+    ///
+    /// Callers must observe active peers in **ascending id order** exactly
+    /// once per period, between `begin_period` and `finish_period`.  The
+    /// fused shard-major walk preserves this by visiting shard runs of the
+    /// (ascending) active list in order, so its rows are byte-identical to
+    /// the phase-major sweep's.  Reads only the peer's own slot and the
+    /// current row — never another peer's state — which is what lets the
+    /// fused pipeline interleave it with delivery application.
+    #[inline]
     pub fn observe(&mut self, peer: usize, started: bool, stalls: u64, played: u64) {
         let period = self.current.period;
         let state = &mut self.peers[peer];

@@ -165,6 +165,13 @@ impl WorkerScratch {
     /// `PeerNode::build_context` exactly (same windows, same candidate
     /// order, same supplier order).  Returns `false` when the node has
     /// nothing it could request this period.
+    ///
+    /// The discovery inputs arrive precomputed: `known_sessions` is the
+    /// node's *post-discovery* session count for this period (the fused
+    /// scheduling pass computes it locally and defers the store write to
+    /// the playback walk) and `max_advertised` is the max id over the
+    /// neighbours' buffers, gathered once by the caller's chunk walk
+    /// instead of re-walking the neighbour list here.
     #[allow(clippy::too_many_arguments)]
     pub fn build_context(
         &mut self,
@@ -175,12 +182,14 @@ impl WorkerScratch {
         neighbors: &[PeerId],
         store: &PeerStore,
         outbound_rate: &[f64],
+        known_sessions: usize,
+        max_advertised: SegmentId,
     ) -> bool {
         self.clear_candidates();
         if neighbors.is_empty() || inbound_rate <= 0.0 {
             return false;
         }
-        let known = node.known(directory);
+        let known = crate::peer::known_slice(known_sessions, directory);
         if known.is_empty() {
             return false;
         }
@@ -192,12 +201,6 @@ impl WorkerScratch {
             .unwrap_or(0);
         let current = &known[current_idx];
         let next = known.get(current_idx + 1);
-
-        let max_advertised = neighbors
-            .iter()
-            .filter_map(|&n| store.buffer(n).max_id())
-            .max()
-            .unwrap_or(SegmentId(0));
 
         // Ranges identical to the reference implementation: the current
         // stream capped to a 2·B trailing window, plus the next (new-source)
@@ -321,6 +324,8 @@ impl MemoryFootprint for PeriodScratch {
             + vec_bytes(&self.batches)
             + vec_bytes(&self.request_pool)
             + vec_bytes(&self.deliveries)
+            + vec_bytes(&self.dest_counts)
+            + vec_bytes(&self.deliveries_dest)
             + nested_requests
             + workers
     }
@@ -358,8 +363,16 @@ pub struct PeriodScratch {
     pub request_pool: Vec<Vec<crate::scheduler::SegmentRequest>>,
     /// Per-worker scheduling state (one entry when sequential).
     pub workers: Vec<WorkerScratch>,
-    /// Deliveries of the current period.
+    /// Deliveries of the current period, in resolver order
+    /// (supplier-major — see [`crate::transfer`]).
     pub deliveries: Vec<DeliveredSegment>,
+    /// Counting-sort workspace of the fused delivery walk: per destination
+    /// shard, the offset of its run in `deliveries_dest` (length
+    /// `shard_count + 1` after the prefix sum).
+    pub dest_counts: Vec<usize>,
+    /// Deliveries regrouped by destination (requester) shard, stable within
+    /// each shard — the order the fused shard-major walk applies them in.
+    pub deliveries_dest: Vec<DeliveredSegment>,
 }
 
 impl PeriodScratch {

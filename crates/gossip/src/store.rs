@@ -38,23 +38,44 @@ use fss_overlay::PeerId;
 /// at 16 shards while leaving small systems in a single shard.
 pub const DEFAULT_SHARD_SIZE: usize = 1 << 16;
 
+/// The **hot** per-peer column: everything the period sweep reads or writes
+/// per peer *except* the bulk buffer storage — playback cursor, fractional
+/// play credit and the discovery counter, packed into a single record so
+/// one cache-line fill serves the whole playback/QoE/discovery pass.
+///
+/// The cold counterpart is the [`FifoBuffer`] column: its ring/window/seqs
+/// heap blocks (≈ 4.4 KB/peer at the paper's `B = 600`) are touched only on
+/// actual buffer reads and mutations, never dragged in by header-only
+/// passes.
+#[derive(Debug, Clone)]
+pub struct PeerHeader {
+    /// Playback position, startup flag and stall/played counters.
+    pub playback: PlaybackState,
+    /// Fractional playback credit carried across periods.
+    pub play_credit: f64,
+    /// How many sessions (prefix of the directory) the peer has discovered.
+    pub known_sessions: usize,
+}
+
+// One header per cache line: the fused period walk budgets exactly one
+// line fill per peer for the hot column.
+const _: () = assert!(std::mem::size_of::<PeerHeader>() <= 64);
+
 /// One shard: the peer state of a contiguous [`PeerId`] range, stored as
-/// parallel columns (struct of arrays).
+/// parallel columns (struct of arrays), split hot/cold: the dense
+/// [`PeerHeader`] column carries the per-period scalar state, the
+/// [`FifoBuffer`] column carries the bulk segment storage.
 #[derive(Debug, Default)]
 pub struct PeerShard {
     buffers: Vec<FifoBuffer>,
-    playback: Vec<PlaybackState>,
-    known_sessions: Vec<usize>,
-    play_credit: Vec<f64>,
+    headers: Vec<PeerHeader>,
 }
 
 impl PeerShard {
     fn with_capacity(capacity: usize) -> PeerShard {
         let mut shard = PeerShard::default();
         shard.buffers.reserve_exact(capacity);
-        shard.playback.reserve_exact(capacity);
-        shard.known_sessions.reserve_exact(capacity);
-        shard.play_credit.reserve_exact(capacity);
+        shard.headers.reserve_exact(capacity);
         shard
     }
 
@@ -68,26 +89,33 @@ impl PeerShard {
         self.buffers.is_empty()
     }
 
-    fn push_parts(
-        &mut self,
-        buffer: FifoBuffer,
-        playback: PlaybackState,
-        known: usize,
-        credit: f64,
-    ) {
+    /// The shard's buffer column (dense, slot-indexed).
+    pub fn buffers(&self) -> &[FifoBuffer] {
+        &self.buffers
+    }
+
+    /// The shard's hot header column (dense, slot-indexed).
+    pub fn headers(&self) -> &[PeerHeader] {
+        &self.headers
+    }
+
+    /// Both columns, mutably and simultaneously — the fused period walk
+    /// applies deliveries to the buffer column and advances playback in the
+    /// header column within one shard-resident pass.
+    pub(crate) fn columns_mut(&mut self) -> (&mut [FifoBuffer], &mut [PeerHeader]) {
+        (&mut self.buffers, &mut self.headers)
+    }
+
+    fn push_parts(&mut self, buffer: FifoBuffer, header: PeerHeader) {
         self.buffers.push(buffer);
-        self.playback.push(playback);
-        self.known_sessions.push(known);
-        self.play_credit.push(credit);
+        self.headers.push(header);
     }
 }
 
 impl MemoryFootprint for PeerShard {
     fn heap_bytes(&self) -> usize {
         vec_bytes(&self.buffers)
-            + vec_bytes(&self.playback)
-            + vec_bytes(&self.known_sessions)
-            + vec_bytes(&self.play_credit)
+            + vec_bytes(&self.headers)
             + self.buffers.iter().map(|b| b.heap_bytes()).sum::<usize>()
     }
 }
@@ -161,6 +189,12 @@ impl PeerStore {
         &self.shards
     }
 
+    /// Mutable access to one shard's columns (the fused period walk's
+    /// per-run handle).
+    pub(crate) fn shard_mut(&mut self, index: usize) -> &mut PeerShard {
+        &mut self.shards[index]
+    }
+
     /// Re-partitions the store into (at least) `shards` shards by shrinking
     /// the shard size to the smallest power of two that covers the current
     /// population in that many shards.  Stored state is moved column-wise;
@@ -197,19 +231,9 @@ impl PeerStore {
                 .div_ceil(shard_size),
         );
         for shard in old {
-            let PeerShard {
-                buffers,
-                playback,
-                known_sessions,
-                play_credit,
-            } = shard;
-            for (((buffer, playback), known), credit) in buffers
-                .into_iter()
-                .zip(playback)
-                .zip(known_sessions)
-                .zip(play_credit)
-            {
-                self.push_parts(buffer, playback, known, credit);
+            let PeerShard { buffers, headers } = shard;
+            for (buffer, header) in buffers.into_iter().zip(headers) {
+                self.push_parts(buffer, header);
             }
         }
     }
@@ -219,21 +243,22 @@ impl PeerStore {
     /// owns id assignment).
     pub fn push(&mut self, node: PeerNode) {
         let (buffer, playback, known, credit) = node.into_parts();
-        self.push_parts(buffer, playback, known, credit);
+        self.push_parts(
+            buffer,
+            PeerHeader {
+                playback,
+                play_credit: credit,
+                known_sessions: known,
+            },
+        );
     }
 
-    fn push_parts(
-        &mut self,
-        buffer: FifoBuffer,
-        playback: PlaybackState,
-        known: usize,
-        credit: f64,
-    ) {
+    fn push_parts(&mut self, buffer: FifoBuffer, header: PeerHeader) {
         if self.len == self.shards.len() * self.shard_size {
             self.shards.push(PeerShard::with_capacity(self.shard_size));
         }
         let shard = self.shards.last_mut().expect("shard just ensured");
-        shard.push_parts(buffer, playback, known, credit);
+        shard.push_parts(buffer, header);
         self.len += 1;
     }
 
@@ -264,16 +289,24 @@ impl PeerStore {
         &mut self.shards[shard].buffers[slot]
     }
 
+    /// A peer's hot header column entry.
+    #[inline]
+    pub fn header(&self, id: PeerId) -> &PeerHeader {
+        let (shard, slot) = self.loc(id);
+        &self.shards[shard].headers[slot]
+    }
+
     /// A shared view of one peer.
     #[inline]
     pub fn peer(&self, id: PeerId) -> PeerRef<'_> {
         let (shard, slot) = self.loc(id);
         let shard = &self.shards[shard];
+        let header = &shard.headers[slot];
         PeerRef {
             id,
             buffer: &shard.buffers[slot],
-            playback: &shard.playback[slot],
-            known_sessions: shard.known_sessions[slot],
+            playback: &header.playback,
+            known_sessions: header.known_sessions,
         }
     }
 
@@ -285,9 +318,33 @@ impl PeerStore {
         PeerMut {
             id,
             buffer: &mut shard.buffers[slot],
-            playback: &mut shard.playback[slot],
-            known_sessions: &mut shard.known_sessions[slot],
-            play_credit: &mut shard.play_credit[slot],
+            header: &mut shard.headers[slot],
+        }
+    }
+
+    /// Issues a software prefetch for a peer's buffer struct and header
+    /// line.  Advisory only: out-of-range ids are ignored.
+    #[inline]
+    pub(crate) fn prefetch_peer(&self, id: PeerId) {
+        let (shard, slot) = self.loc(id);
+        if let Some(shard) = self.shards.get(shard) {
+            if let Some(buffer) = shard.buffers.get(slot) {
+                crate::prefetch::prefetch_read(buffer);
+            }
+            if let Some(header) = shard.headers.get(slot) {
+                crate::prefetch::prefetch_read(header);
+            }
+        }
+    }
+
+    /// Issues a software prefetch for a peer's buffer struct only (the
+    /// neighbour-gather walks read `max_id`/availability words, never the
+    /// header).  Advisory only: out-of-range ids are ignored.
+    #[inline]
+    pub(crate) fn prefetch_buffer(&self, id: PeerId) {
+        let (shard, slot) = self.loc(id);
+        if let Some(buffer) = self.shards.get(shard).and_then(|s| s.buffers.get(slot)) {
+            crate::prefetch::prefetch_read(buffer);
         }
     }
 }
@@ -379,9 +436,7 @@ impl<'a> PeerRef<'a> {
 pub struct PeerMut<'a> {
     id: PeerId,
     buffer: &'a mut FifoBuffer,
-    playback: &'a mut PlaybackState,
-    known_sessions: &'a mut usize,
-    play_credit: &'a mut f64,
+    header: &'a mut PeerHeader,
 }
 
 impl PeerMut<'_> {
@@ -397,25 +452,31 @@ impl PeerMut<'_> {
 
     /// See [`PeerNode::rejoin_at`].
     pub fn rejoin_at(&mut self, join_point: SegmentId) {
-        self.playback.rejoin_at(join_point);
+        self.header.playback.rejoin_at(join_point);
     }
 
     /// See [`PeerNode::discover_sessions`].
     pub fn discover_sessions(&mut self, directory: &SessionDirectory, observed_max: SegmentId) {
-        peer::discover_sessions(self.known_sessions, directory, observed_max);
+        peer::discover_sessions(&mut self.header.known_sessions, directory, observed_max);
     }
 
     /// See [`PeerNode::advance_playback`].
     pub fn advance_playback(&mut self, config: &GossipConfig, directory: &SessionDirectory) -> u64 {
-        let known = peer::known_slice(*self.known_sessions, directory);
-        peer::advance_playback(self.buffer, self.playback, self.play_credit, known, config)
+        let known = peer::known_slice(self.header.known_sessions, directory);
+        peer::advance_playback(
+            self.buffer,
+            &mut self.header.playback,
+            &mut self.header.play_credit,
+            known,
+            config,
+        )
     }
 
     /// Read access to the peer's playback state (the QoE recorder observes
     /// it right after [`advance_playback`](Self::advance_playback) without
     /// paying a second store lookup).
     pub fn playback(&self) -> &PlaybackState {
-        self.playback
+        &self.header.playback
     }
 }
 

@@ -32,22 +32,24 @@
 //! test-suite asserts identical [`SystemReport`]s) and the reference serves
 //! as the baseline for `BENCH_period.json`.
 
+use crate::buffer::FifoBuffer;
 use crate::config::GossipConfig;
 use crate::directory::{sample_distinct, MembershipView, SampleScratch, ViewConfig};
 use crate::mem::{vec_bytes, MemUsage, MemoryFootprint};
 use crate::membership::MembershipMaintainer;
 use crate::net::{NetMessage, NetStats, NetworkModel};
-use crate::peer::{NeighborInfo, PeerNode};
+use crate::peer::{self, NeighborInfo, PeerNode};
+use crate::prefetch::{prefetch_read, DELIVERY_AHEAD, WALK_AHEAD};
 use crate::qoe::{QoeRecorder, QoeTotals};
 use crate::scheduler::SegmentScheduler;
 use crate::scratch::{PeriodScratch, WorkerScratch};
 use crate::segment::{SegmentId, SessionDirectory, SourceId};
 use crate::stats::{RatioSample, SwitchRecord, SwitchStats, TrafficCounters};
 use crate::store::{PeerRef, PeerStore};
-use crate::transfer::{RequestBatch, TransferResolver};
+use crate::transfer::{regroup_by_dest_shard, RequestBatch, TransferResolver};
 use fss_overlay::net::{MessageKind, NetworkConfig};
 use fss_overlay::{ChurnModel, Overlay, OverlayError, PeerAttrs, PeerId};
-use fss_sim::exec::{DisjointSlots, JobExecutor, SerialExecutor};
+use fss_sim::exec::{DisjointRanges, DisjointSlots, JobExecutor, SerialExecutor};
 use fss_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -145,6 +147,11 @@ pub struct StreamingSystem {
     /// to the event-driven mode, which carries granted transfers as
     /// scheduled messages with latency, loss and jitter (see [`crate::net`]).
     net: Option<NetworkModel>,
+    /// Selects the phase-major period pipeline (the pre-fusion ordering:
+    /// whole-population scheduling, then delivery, then playback) instead of
+    /// the default shard-major fused pipeline.  Results are byte-identical;
+    /// kept for one release as the fusion oracle.
+    phase_major: bool,
 }
 
 impl StreamingSystem {
@@ -201,6 +208,7 @@ impl StreamingSystem {
             parallelism: 1,
             executor: None,
             net: None,
+            phase_major: false,
         }
     }
 
@@ -389,6 +397,15 @@ impl StreamingSystem {
     /// percent of period throughput.
     pub fn set_qoe_enabled(&mut self, on: bool) {
         self.qoe.set_enabled(on);
+    }
+
+    /// Selects the phase-major period pipeline (whole-population phases in
+    /// sequence) instead of the default shard-major fused pipeline.  The two
+    /// orderings produce byte-identical reports — pinned by the fused
+    /// equivalence suite — so this knob exists only as the fusion oracle and
+    /// for locality benchmarking; it is kept for one release.
+    pub fn set_phase_major(&mut self, on: bool) {
+        self.phase_major = on;
     }
 
     /// Decimates the per-period ratio samples to every `keep_every`-th
@@ -715,6 +732,8 @@ impl StreamingSystem {
     pub fn advance(&mut self) {
         if self.net.is_some() {
             self.step_event();
+        } else if self.phase_major {
+            self.step_phase_major();
         } else {
             self.step();
         }
@@ -726,7 +745,19 @@ impl StreamingSystem {
         self.switch_completed_secs.is_some()
     }
 
-    /// Executes one scheduling period (optimized hot path).
+    /// Executes one scheduling period (optimized hot path): the shard-major
+    /// **fused** pipeline.
+    ///
+    /// The per-peer phases that used to run as whole-population sweeps —
+    /// discovery write, delivery application, playback advance, QoE
+    /// observation and switch milestones — execute back to back per shard
+    /// chunk while that shard's columns are cache-resident.  Only transfer
+    /// resolution stays global (it must see every request batch), and the
+    /// counting-sort resolver's stable supplier grouping is re-grouped by
+    /// *destination* shard so the apply walk also runs shard-major.  The
+    /// resulting reports are byte-identical to the phase-major ordering
+    /// ([`step_phase_major`](Self::step_phase_major)) — pinned by the fused
+    /// equivalence suite.
     ///
     /// # Panics
     /// Panics if a network model is installed: stepping past in-flight
@@ -745,17 +776,44 @@ impl StreamingSystem {
         // 2. Source emission.
         self.emit_segments();
 
-        // 3. Buffer-map exchange, discovery and scheduling.
-        self.collect_requests_scratch();
+        // 3. Buffer-map exchange, discovery and scheduling.  The fused
+        //    scheduling chunks compute post-discovery knowledge locally;
+        //    the store write lands in the per-shard walk below.
+        self.collect_requests_scratch(false);
 
-        // 4. Transfer resolution and delivery.
-        self.deliver_scratch();
+        // 4. Global transfer resolution (no buffer mutation yet).
+        self.resolve_transfers();
 
-        // 5. Playback, milestones, ratio samples.
+        // 5. Shard-major fused walk: delivery application, discovery write,
+        //    playback, QoE and milestones per shard run.
         self.period_index += 1;
-        self.advance_playback_and_record();
+        self.apply_and_play_fused();
 
         // 6. Switch-window traffic accounting.
+        self.account_switch_window(period_traffic_before);
+        self.update_switch_completion();
+    }
+
+    /// Executes one scheduling period through the phase-major pipeline the
+    /// fused [`step`](Self::step) replaced: each per-peer phase sweeps the
+    /// whole population before the next starts.  Byte-identical to the fused
+    /// ordering; kept for one release as the fusion oracle (reachable via
+    /// [`set_phase_major`](Self::set_phase_major)).
+    ///
+    /// # Panics
+    /// Panics if a network model is installed (see [`step`](Self::step)).
+    pub fn step_phase_major(&mut self) {
+        assert!(
+            self.net.is_none(),
+            "a network model is installed; use advance()/step_event()"
+        );
+        let period_traffic_before = self.traffic_total;
+        self.apply_churn();
+        self.emit_segments();
+        self.collect_requests_scratch(true);
+        self.deliver_scratch();
+        self.period_index += 1;
+        self.advance_playback_and_record();
         self.account_switch_window(period_traffic_before);
         self.update_switch_completion();
     }
@@ -807,10 +865,11 @@ impl StreamingSystem {
         //    period's buffer-map exchange and scheduling.
         self.drain_arrivals(now, true);
 
-        // 1-3. Identical to the period-lockstep step.
+        // 1-3. Identical to the period-lockstep step (discovery writes land
+        //      immediately: the arrival drain below reads them).
         self.apply_churn();
         self.emit_segments();
-        self.collect_requests_scratch();
+        self.collect_requests_scratch(true);
 
         // 4. Transfer resolution at the boundary; grants become in-flight
         //    messages instead of instant inserts.
@@ -1049,9 +1108,30 @@ impl StreamingSystem {
         // logical `PeerNode` record, so its size remains the metered
         // per-peer inline stride.
         let inline = std::mem::size_of::<PeerNode>();
+        // Shard-major sweep: resolve each shard's buffer column once and
+        // index slots directly (the active list is ascending, so each shard
+        // is one contiguous run), prefetching the next buffer struct ahead
+        // of its `mem_breakdown` reads.  Sums in active order, so the
+        // metered totals are byte-identical to the per-id walk.
+        let shift = self.peers.shard_shift();
+        let mask = self.peers.shard_size() - 1;
+        let shards = self.peers.shards();
+        // fss-lint: hot-path
+        let mut shard_idx = usize::MAX;
+        let mut buffers: &[FifoBuffer] = &[];
         for p in self.overlay.active_peers() {
-            usage.add_peer(inline, self.peers.buffer(p).mem_breakdown());
+            let shard = (p as usize) >> shift;
+            if shard != shard_idx {
+                shard_idx = shard;
+                buffers = shards[shard].buffers();
+            }
+            let slot = (p as usize) & mask;
+            if let Some(ahead) = buffers.get(slot + WALK_AHEAD) {
+                prefetch_read(ahead);
+            }
+            usage.add_peer(inline, buffers[slot].mem_breakdown());
         }
+        // fss-lint: end
         usage
     }
 
@@ -1276,9 +1356,25 @@ impl StreamingSystem {
         }
     }
 
-    /// Discovery + context building + scheduling, entirely out of the
-    /// scratch arena.  Fills `self.scratch.batches` in node order.
-    fn collect_requests_scratch(&mut self) {
+    /// Buffer-map gather + discovery + context building + scheduling,
+    /// entirely out of the scratch arena.  Fills `self.scratch.batches` in
+    /// node order.
+    ///
+    /// The discovery gather is fused into the scheduling chunks: each chunk
+    /// walks its peers' neighbour buffers **once**, records the max observed
+    /// id in `observed_max` (chunk ranges partition the active list, so the
+    /// parallel writes are disjoint) and builds each scheduling context from
+    /// the locally computed post-discovery knowledge.  Discovery writes only
+    /// touch the per-peer header — never a buffer — so every gather still
+    /// reads pre-discovery state exactly like the reference implementation.
+    ///
+    /// `write_known` selects when the discovery result lands in the store:
+    /// the phase-major and event paths write it here (`true`, before any
+    /// delivery), the fused step defers it to the shard-major playback walk
+    /// (`false`) where the header line is hot anyway.  Both orderings are
+    /// byte-identical because nothing between scheduling and the fused walk
+    /// reads session knowledge.
+    fn collect_requests_scratch(&mut self, write_known: bool) {
         let capacity = self.overlay.graph().capacity();
         let workers = self.worker_count();
         self.scratch.ensure_capacity(capacity, workers);
@@ -1288,34 +1384,9 @@ impl StreamingSystem {
             let overlay = &self.overlay;
             self.scratch.active.extend(overlay.active_peers());
         }
-
-        // Discovery pass: a node learns a new session as soon as any
-        // neighbour (or its own buffer) holds one of its segments.  All
-        // reads happen before any `discover_sessions` mutation, mirroring
-        // the reference implementation.
+        let active_len = self.scratch.active.len();
         self.scratch.observed_max.clear();
-        for &p in &self.scratch.active {
-            let own = self.peers.buffer(p).max_id();
-            let neighbours = self
-                .overlay
-                .neighbors(p)
-                .iter()
-                .filter_map(|&n| self.peers.buffer(n).max_id())
-                .max();
-            self.scratch.observed_max.push(
-                own.into_iter()
-                    .chain(neighbours)
-                    .max()
-                    .unwrap_or(SegmentId(0)),
-            );
-        }
-        for i in 0..self.scratch.active.len() {
-            let p = self.scratch.active[i];
-            let observed = self.scratch.observed_max[i];
-            self.peers
-                .peer_mut(p)
-                .discover_sessions(&self.directory, observed);
-        }
+        self.scratch.observed_max.resize(active_len, SegmentId(0));
 
         // Dense per-peer rate tables, refreshed once per period.
         for i in 0..self.scratch.active.len() {
@@ -1353,8 +1424,21 @@ impl StreamingSystem {
             }
         }
 
-        // Scheduling pass (read-only over peers/overlay/directory).
+        // Scheduling pass (read-only over peers/overlay/directory; writes
+        // only chunk-owned scratch ranges).
         self.run_scheduling_pass();
+
+        // Deferred discovery write for the paths that do not run the fused
+        // playback walk.
+        if write_known {
+            for i in 0..active_len {
+                let p = self.scratch.active[i];
+                let observed = self.scratch.observed_max[i];
+                self.peers
+                    .peer_mut(p)
+                    .discover_sessions(&self.directory, observed);
+            }
+        }
 
         // Merge worker outputs in node order and account control traffic.
         debug_assert!(self.scratch.batches.is_empty());
@@ -1381,22 +1465,45 @@ impl StreamingSystem {
     /// Fills `scratch.chunks` with the `(start, end)` index ranges of the
     /// active list the scheduling pass fans out over.
     ///
-    /// With a sharded store the shards are the chunk unit: the active list
-    /// is ascending, so each shard's active peers form one contiguous run,
-    /// found by binary search on the shard's id bound.  A single-shard store
-    /// falls back to the legacy even slicing over `workers` chunks.  Always
-    /// produces at least one (possibly empty) chunk.
+    /// With a sharded store the shard-boundary runs are the chunk unit: the
+    /// active list is ascending, so each shard's active peers form one
+    /// contiguous run, found by binary search on the shard's id bound.  A
+    /// run is then **cost-balanced**: any run longer than twice the mean run
+    /// length is split into equal contiguous pieces under that cap, so one
+    /// densely populated shard (a skewed zap landing, say) cannot serialise
+    /// the whole parallel pass behind a single oversized chunk.  The split
+    /// is a pure function of the active list and the shard geometry —
+    /// deterministic and order-preserving, so merged outputs are unchanged.
+    /// A single-shard store falls back to the legacy even slicing over
+    /// `workers` chunks.  Always produces at least one (possibly empty)
+    /// chunk.
     fn plan_chunks(&mut self, workers: usize) {
         let PeriodScratch { chunks, active, .. } = &mut self.scratch;
         chunks.clear();
         if self.peers.shard_count() > 1 {
             let shift = self.peers.shard_shift();
+            let mut runs = 0usize;
+            let mut start = 0usize;
+            while start < active.len() {
+                let shard = (active[start] as usize) >> shift;
+                let bound = ((shard as u64) + 1) << shift;
+                start += active[start..].partition_point(|&p| (p as u64) < bound);
+                runs += 1;
+            }
+            let cap = (2 * active.len())
+                .checked_div(runs)
+                .unwrap_or(active.len())
+                .max(1);
             let mut start = 0usize;
             while start < active.len() {
                 let shard = (active[start] as usize) >> shift;
                 let bound = ((shard as u64) + 1) << shift;
                 let end = start + active[start..].partition_point(|&p| (p as u64) < bound);
-                chunks.push((start, end));
+                let len = end - start;
+                let pieces = len.div_ceil(cap);
+                for k in 0..pieces {
+                    chunks.push((start + k * len / pieces, start + (k + 1) * len / pieces));
+                }
                 start = end;
             }
         } else {
@@ -1422,6 +1529,7 @@ impl StreamingSystem {
         let executor = &self.executor;
         let PeriodScratch {
             active,
+            observed_max,
             chunks,
             workers: worker_slots,
             outbound_rate,
@@ -1439,6 +1547,7 @@ impl StreamingSystem {
             let (start, end) = chunks.first().copied().unwrap_or((0, 0));
             schedule_chunk(
                 &active[start..end],
+                &mut observed_max[start..end],
                 &mut worker_slots[0],
                 peers,
                 overlay,
@@ -1456,13 +1565,18 @@ impl StreamingSystem {
         let outbound_rate = &outbound_rate[..];
         let inbound_rate = &inbound_rate[..];
         let slots = DisjointSlots::new(&mut worker_slots[..used]);
+        let observed = DisjointRanges::new(&mut observed_max[..]);
         let job = move |chunk: usize| {
             let (start, end) = chunks[chunk];
             // SAFETY: chunk indices are unique per execute() run, so each
-            // scratch slot is borrowed by exactly one chunk.
+            // scratch slot is borrowed by exactly one chunk; the chunk plan
+            // partitions the active list, so the observed ranges are
+            // disjoint.
             let worker = unsafe { slots.slot(chunk) };
+            let observed_out = unsafe { observed.range(start, end) };
             schedule_chunk(
                 &active[start..end],
+                observed_out,
                 worker,
                 peers,
                 overlay,
@@ -1479,10 +1593,12 @@ impl StreamingSystem {
         }
     }
 
-    /// Transfer resolution and delivery out of the scratch arena: dense
-    /// outbound budgets instead of a per-period `HashMap`, reusable entry /
-    /// delivery buffers inside the resolver, and request-vector recycling.
-    fn deliver_scratch(&mut self) {
+    /// Global transfer resolution out of the scratch arena: dense outbound
+    /// budgets instead of a per-period `HashMap`, reusable entry / delivery
+    /// buffers inside the resolver, and request-vector recycling.  Fills
+    /// `scratch.deliveries` in resolver (supplier-major) order without
+    /// touching any peer state — application is the caller's half.
+    fn resolve_transfers(&mut self) {
         let tau = self.config.tau_secs;
         for budget in self.scratch.outbound_budget.iter_mut() {
             *budget = 0;
@@ -1507,11 +1623,6 @@ impl StreamingSystem {
                 deliveries,
             );
         }
-        for i in 0..self.scratch.deliveries.len() {
-            let d = self.scratch.deliveries[i];
-            self.peers.buffer_mut(d.requester).insert(d.segment);
-            self.traffic_total.add_data(self.config.segment_bits);
-        }
 
         // Recycle the request vectors for the next period.
         let PeriodScratch {
@@ -1523,6 +1634,208 @@ impl StreamingSystem {
             let mut requests = batch.requests;
             requests.clear();
             request_pool.push(requests);
+        }
+    }
+
+    /// Transfer resolution plus delivery application in resolver order —
+    /// the phase-major pipeline's delivery phase.
+    fn deliver_scratch(&mut self) {
+        self.resolve_transfers();
+        for i in 0..self.scratch.deliveries.len() {
+            let d = self.scratch.deliveries[i];
+            self.peers.buffer_mut(d.requester).insert(d.segment);
+            self.traffic_total.add_data(self.config.segment_bits);
+        }
+    }
+
+    /// The shard-major fused back half of [`step`](Self::step): delivery
+    /// application, discovery write, playback advance, QoE observation and
+    /// switch milestones run back to back per shard run of the active list,
+    /// while that shard's header and buffer columns are cache-resident.
+    ///
+    /// Byte-identical to the phase-major ordering because
+    /// * deliveries are regrouped **stably** by destination shard, so each
+    ///   buffer's insert sequence is unchanged (see
+    ///   [`regroup_by_dest_shard`]),
+    /// * playback, discovery and milestones read only the peer's own
+    ///   columns plus period-start scratch (`observed_max`), never another
+    ///   peer's state, and
+    /// * the walk is serial and ascending, so QoE observation order and the
+    ///   f64 milestone accumulation order are exactly the phase-major ones.
+    fn apply_and_play_fused(&mut self) {
+        let qoe_on = self.qoe.is_enabled();
+        if qoe_on {
+            self.qoe.begin_period(self.period_index);
+        }
+
+        let shard_count = self.peers.shard_count();
+        let shift = self.peers.shard_shift();
+        let mask = self.peers.shard_size() - 1;
+        if shard_count > 1 {
+            let PeriodScratch {
+                deliveries,
+                dest_counts,
+                deliveries_dest,
+                ..
+            } = &mut self.scratch;
+            regroup_by_dest_shard(deliveries, shift, shard_count, dest_counts, deliveries_dest);
+        }
+
+        // Switch-milestone inputs, resolved once for the whole walk.
+        let since_switch = if self.switch_sessions.is_some() {
+            self.secs_since_switch()
+        } else {
+            0.0
+        };
+        let switch = self.switch_sessions.map(|(old_id, new_id)| {
+            let old = *self.directory.get(old_id).expect("old session");
+            let new = *self.directory.get(new_id).expect("new session");
+            let old_end = old.last_segment.expect("old session closed at switch");
+            (old, new, old_end)
+        });
+        let qs = self.config.new_source_qs;
+        let segment_bits = self.config.segment_bits;
+
+        let config = &self.config;
+        let directory = &self.directory;
+        let peers = &mut self.peers;
+        let qoe = &mut self.qoe;
+        let switch_records = &mut self.switch_records;
+        let traffic_total = &mut self.traffic_total;
+        let scratch = &self.scratch;
+        let active = &scratch.active[..];
+        let observed_max = &scratch.observed_max[..];
+        let (deliveries, dest_counts) = if shard_count > 1 {
+            (&scratch.deliveries_dest[..], &scratch.dest_counts[..])
+        } else {
+            (&scratch.deliveries[..], &[][..])
+        };
+
+        let mut undelivered_sum = 0.0;
+        let mut delivered_sum = 0.0;
+        let mut counted = 0usize;
+        let mut waiting = 0u64;
+        let mut applied = 0usize;
+
+        // fss-lint: hot-path
+        let mut run_start = 0usize;
+        while run_start < active.len() {
+            let shard_idx = (active[run_start] as usize) >> shift;
+            let bound = ((shard_idx as u64) + 1) << shift;
+            let run_end = run_start + active[run_start..].partition_point(|&p| (p as u64) < bound);
+
+            let shard_deliveries = if shard_count > 1 {
+                let start = if shard_idx == 0 {
+                    0
+                } else {
+                    dest_counts[shard_idx - 1]
+                };
+                &deliveries[start..dest_counts[shard_idx]]
+            } else {
+                deliveries
+            };
+            let (buffers, headers) = peers.shard_mut(shard_idx).columns_mut();
+
+            // Delivery application, destination-shard-local (stable
+            // regrouping keeps each requester's insert order = resolver
+            // order).
+            for (i, d) in shard_deliveries.iter().enumerate() {
+                if let Some(ahead) = shard_deliveries.get(i + DELIVERY_AHEAD) {
+                    prefetch_read(&buffers[(ahead.requester as usize) & mask]);
+                }
+                buffers[(d.requester as usize) & mask].insert(d.segment);
+                traffic_total.add_data(segment_bits);
+            }
+            applied += shard_deliveries.len();
+
+            // Discovery write, playback, QoE and milestones per peer while
+            // its header line and buffer struct are hot.
+            for i in run_start..run_end {
+                let p = active[i];
+                let slot = (p as usize) & mask;
+                if let Some(&ahead) = active.get(i + WALK_AHEAD) {
+                    if (ahead as usize) >> shift == shard_idx {
+                        let ahead_slot = (ahead as usize) & mask;
+                        prefetch_read(&headers[ahead_slot]);
+                        prefetch_read(&buffers[ahead_slot]);
+                    }
+                }
+                let header = &mut headers[slot];
+                peer::discover_sessions(&mut header.known_sessions, directory, observed_max[i]);
+                let known = peer::known_slice(header.known_sessions, directory);
+                let buffer = &buffers[slot];
+                let played = peer::advance_playback(
+                    buffer,
+                    &mut header.playback,
+                    &mut header.play_credit,
+                    known,
+                    config,
+                );
+                if qoe_on {
+                    let playback = &header.playback;
+                    qoe.observe(
+                        p as usize,
+                        playback.has_started(),
+                        playback.stalls(),
+                        played,
+                    );
+                }
+                let Some((old, new, old_end)) = &switch else {
+                    continue;
+                };
+                let record = &mut switch_records[p as usize];
+                if !record.countable() {
+                    continue;
+                }
+                let id_play = header.playback.next_play();
+                if record.s1_finished_secs.is_none() && id_play > *old_end {
+                    record.s1_finished_secs = Some(since_switch);
+                }
+                let q2 = peer::q2_for(buffer, new, qs);
+                if record.s2_prepared_secs.is_none() && q2 == 0 {
+                    record.s2_prepared_secs = Some(since_switch);
+                }
+                if record.s2_started_secs.is_none() && id_play > new.first_segment {
+                    record.s2_started_secs = Some(since_switch);
+                }
+                if !record.completed() {
+                    waiting += 1;
+                }
+
+                // Ratio tracks (Figures 5 and 9) — ascending-order f64
+                // accumulation, as in the phase-major milestone pass.
+                let q1 = peer::undelivered_in_session(buffer, id_play, old, *old_end);
+                let undelivered_ratio = if record.q0 == 0 {
+                    0.0
+                } else {
+                    q1 as f64 / record.q0 as f64
+                };
+                let delivered_ratio = (qs - q2) as f64 / qs as f64;
+                undelivered_sum += undelivered_ratio;
+                delivered_sum += delivered_ratio;
+                counted += 1;
+            }
+            run_start = run_end;
+        }
+        // fss-lint: end
+        debug_assert_eq!(
+            applied,
+            deliveries.len(),
+            "every delivery's requester is active"
+        );
+
+        if counted > 0 {
+            self.ratio_periods_seen += 1;
+            if (self.ratio_periods_seen - 1).is_multiple_of(self.ratio_keep_every) {
+                self.ratio_samples.push(RatioSample {
+                    secs: since_switch,
+                    undelivered_ratio_s1: undelivered_sum / counted as f64,
+                    delivered_ratio_s2: delivered_sum / counted as f64,
+                });
+            }
+        }
+        if qoe_on {
+            self.qoe.finish_period(waiting);
         }
     }
 
@@ -1694,13 +2007,23 @@ fn chunk_layout(active_len: usize, workers: usize) -> (usize, usize) {
     (chunk_size, active_len.div_ceil(chunk_size))
 }
 
-/// Runs the scheduling pass for one contiguous chunk of the active list.
+/// Runs the fused gather + discovery + scheduling pass for one contiguous
+/// chunk of the active list.
 ///
-/// Pure function of the (immutable) system state plus the worker's own
-/// scratch, which is what makes the parallel fan-out trivially deterministic.
+/// Per peer, the neighbour buffers are walked **once**: the walk yields the
+/// max advertised id (written to `observed_out`, the chunk's range of the
+/// discovery table, and folded with the peer's own buffer into its
+/// post-discovery session count) and feeds the same value into the
+/// scheduling context, which previously re-gathered it.  The store is never
+/// written — discovery results travel through `observed_out` — so the pass
+/// stays a pure function of the (immutable) system state plus the worker's
+/// own scratch, which is what makes the parallel fan-out trivially
+/// deterministic.
+// fss-lint: hot-path
 #[allow(clippy::too_many_arguments)]
 fn schedule_chunk(
     chunk: &[PeerId],
+    observed_out: &mut [SegmentId],
     worker: &mut WorkerScratch,
     store: &PeerStore,
     overlay: &Overlay,
@@ -1710,8 +2033,30 @@ fn schedule_chunk(
     outbound_rate: &[f64],
     inbound_rate: &[f64],
 ) {
-    for &p in chunk {
+    debug_assert_eq!(chunk.len(), observed_out.len());
+    for (i, &p) in chunk.iter().enumerate() {
+        if let Some(&ahead) = chunk.get(i + WALK_AHEAD) {
+            store.prefetch_peer(ahead);
+        }
         let neighbors = overlay.neighbors(p);
+
+        // One gather serves discovery and the scheduling context.  The
+        // discovery fold applies to every active peer — including ones the
+        // scheduling skips below — exactly like the standalone pass did.
+        let own = store.buffer(p).max_id();
+        let mut neighbour_max: Option<SegmentId> = None;
+        for (j, &n) in neighbors.iter().enumerate() {
+            if let Some(&ahead) = neighbors.get(j + 2) {
+                store.prefetch_buffer(ahead);
+            }
+            let max = store.buffer(n).max_id();
+            if max > neighbour_max {
+                neighbour_max = max;
+            }
+        }
+        let observed = own.max(neighbour_max).unwrap_or(SegmentId(0));
+        observed_out[i] = observed;
+
         if neighbors.is_empty() {
             continue;
         }
@@ -1722,6 +2067,11 @@ fn schedule_chunk(
         if inbound <= 0.0 {
             continue;
         }
+        // Post-discovery knowledge, computed locally (the store write is
+        // deferred to the playback walk).
+        let mut known_sessions = store.header(p).known_sessions;
+        peer::discover_sessions(&mut known_sessions, directory, observed);
+
         if !worker.build_context(
             store.peer(p),
             config,
@@ -1730,6 +2080,8 @@ fn schedule_chunk(
             neighbors,
             store,
             outbound_rate,
+            known_sessions,
+            neighbour_max.unwrap_or(SegmentId(0)),
         ) {
             continue;
         }
@@ -1747,6 +2099,7 @@ fn schedule_chunk(
         });
     }
 }
+// fss-lint: end
 
 #[cfg(test)]
 mod tests {
@@ -2060,6 +2413,124 @@ mod tests {
         for shards in [2, 4, 8] {
             assert_eq!(run(shards), single, "shards = {shards}");
         }
+    }
+
+    /// The fusion oracle: the shard-major fused pipeline and the phase-major
+    /// ordering it replaced produce byte-identical reports across churn, a
+    /// source switch and every shard geometry.  Routed through `advance()`
+    /// so the `set_phase_major` dispatch is covered too.
+    #[test]
+    fn fused_step_matches_phase_major() {
+        let run = |fused: bool, shards: usize| {
+            let mut sys = build_system(80, 31);
+            sys.set_shards(shards);
+            sys.set_phase_major(!fused);
+            let (s1, s2) = first_two(&sys);
+            sys.start_initial_source(s1);
+            sys.run_periods(25);
+            sys.set_churn(ChurnModel::paper_default(5));
+            sys.switch_source(s2);
+            sys.run_periods(45);
+            sys.report()
+        };
+        for shards in [1, 2, 4, 8] {
+            assert_eq!(run(true, shards), run(false, shards), "shards = {shards}");
+        }
+    }
+
+    /// Interleaving fused and phase-major periods within one run must agree
+    /// as well: every period leaves identical state either way (the
+    /// deferred discovery write of the fused path is invisible between
+    /// periods).
+    #[test]
+    fn fused_and_phase_major_interleave() {
+        let mut a = build_system(50, 37);
+        let mut b = build_system(50, 37);
+        a.set_shards(4);
+        b.set_shards(4);
+        let (s1, s2) = first_two(&a);
+        a.start_initial_source(s1);
+        b.start_initial_source(s1);
+        for round in 0..30u64 {
+            if round % 2 == 0 {
+                a.step();
+                b.step_phase_major();
+            } else {
+                a.step_phase_major();
+                b.step();
+            }
+            if round == 20 {
+                a.switch_source(s2);
+                b.switch_source(s2);
+            }
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    /// Satellite: cost-balanced chunk splitting.  A densely populated shard
+    /// must not serialise the scheduling pass behind one oversized chunk —
+    /// runs longer than twice the mean run length split into equal,
+    /// order-preserving pieces under that cap.
+    #[test]
+    fn plan_chunks_splits_skewed_shard_runs() {
+        let mut sys = build_system(200, 3);
+        sys.set_shards(8);
+        let shard_size = sys.peers.shard_size();
+        let shard_count = sys.peers.shard_count();
+        assert!(shard_count >= 4, "need a multi-shard geometry");
+        assert!(shard_size >= 16);
+
+        // Skewed population: 16 actives packed into shard 0, one straggler
+        // in each of the next three shards.
+        let base = |s: usize| (s * shard_size) as PeerId;
+        sys.scratch.active.clear();
+        for i in 0..16 {
+            sys.scratch.active.push(base(0) + i as PeerId);
+        }
+        sys.scratch.active.push(base(1));
+        sys.scratch.active.push(base(2));
+        sys.scratch.active.push(base(3));
+        let total = sys.scratch.active.len();
+
+        sys.plan_chunks(1);
+        let chunks = sys.scratch.chunks.clone();
+
+        // Order-preserving partition of the active list.
+        let mut expect_start = 0usize;
+        for &(start, end) in &chunks {
+            assert_eq!(start, expect_start, "chunks must tile in order");
+            assert!(end >= start);
+            expect_start = end;
+        }
+        assert_eq!(expect_start, total);
+
+        // 4 runs over 19 actives: cap = 2 * 19 / 4 = 9, so the 16-long
+        // shard-0 run must split (into two 8s) and no chunk may exceed the
+        // cap.
+        let cap = 2 * total / 4;
+        assert!(chunks.len() > 4, "skewed run did not split: {chunks:?}");
+        for &(start, end) in &chunks {
+            assert!(
+                end - start <= cap,
+                "chunk {start}..{end} exceeds cost cap {cap}"
+            );
+            // No chunk straddles a shard boundary.
+            if end > start {
+                let first = sys.scratch.active[start] as usize / shard_size;
+                let last = sys.scratch.active[end - 1] as usize / shard_size;
+                assert_eq!(first, last, "chunk {start}..{end} straddles shards");
+            }
+        }
+
+        // A balanced population keeps the one-chunk-per-run plan.
+        sys.scratch.active.clear();
+        for s in 0..4 {
+            for i in 0..4 {
+                sys.scratch.active.push(base(s) + i as PeerId);
+            }
+        }
+        sys.plan_chunks(1);
+        assert_eq!(sys.scratch.chunks.len(), 4, "{:?}", sys.scratch.chunks);
     }
 
     /// Sharded stepping must also agree with the straight-line reference

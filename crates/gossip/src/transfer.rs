@@ -475,6 +475,56 @@ impl TransferResolver {
     }
 }
 
+/// Stable counting sort of `deliveries` into `out`, bucketed by destination
+/// (requester) shard: `shard = requester >> shard_shift`.
+///
+/// The resolver emits deliveries supplier-major, so applying them directly
+/// scatters writes across every destination shard.  The fused period walk
+/// instead applies each shard's deliveries while that shard's columns are
+/// cache-resident, which requires regrouping by destination first.
+/// **Stability is the correctness keystone**: within one requester all
+/// deliveries keep their resolver order, so the per-buffer insert sequence —
+/// the only order the simulated state can observe — is unchanged.
+///
+/// `dest_counts` is caller-pooled workspace; on return, `dest_counts[s]` is
+/// the **end** offset of shard `s`'s run in `out` (so run `s` spans
+/// `dest_counts[s - 1]..dest_counts[s]`, with 0 for `s == 0`).
+// fss-lint: hot-path
+pub fn regroup_by_dest_shard(
+    deliveries: &[DeliveredSegment],
+    shard_shift: u32,
+    shard_count: usize,
+    dest_counts: &mut Vec<usize>,
+    out: &mut Vec<DeliveredSegment>,
+) {
+    dest_counts.clear();
+    dest_counts.resize(shard_count, 0);
+    for d in deliveries {
+        dest_counts[(d.requester as usize) >> shard_shift] += 1;
+    }
+    let mut offset = 0usize;
+    for count in dest_counts.iter_mut() {
+        let run = *count;
+        *count = offset;
+        offset += run;
+    }
+    out.clear();
+    out.resize(
+        deliveries.len(),
+        DeliveredSegment {
+            requester: 0,
+            supplier: 0,
+            segment: SegmentId(0),
+        },
+    );
+    for d in deliveries {
+        let cursor = &mut dest_counts[(d.requester as usize) >> shard_shift];
+        out[*cursor] = *d;
+        *cursor += 1;
+    }
+}
+// fss-lint: end
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -778,5 +828,59 @@ mod tests {
                 proptest::prop_assert!(count <= outbound);
             }
         }
+    }
+
+    fn delivered(requester: PeerId, supplier: PeerId, segment: u64) -> DeliveredSegment {
+        DeliveredSegment {
+            requester,
+            supplier,
+            segment: SegmentId(segment),
+        }
+    }
+
+    #[test]
+    fn regroup_by_dest_shard_is_stable_within_each_requester() {
+        // Shard shift 2 => shards of 4 ids.  Supplier-major input with the
+        // requesters' deliveries interleaved across shards.
+        let input = vec![
+            delivered(5, 0, 10), // shard 1
+            delivered(1, 0, 11), // shard 0
+            delivered(5, 2, 12), // shard 1 — must stay after (5, 10)
+            delivered(9, 2, 13), // shard 2
+            delivered(1, 3, 14), // shard 0 — must stay after (1, 11)
+            delivered(6, 3, 15), // shard 1
+        ];
+        let mut dest_counts = Vec::new();
+        let mut out = Vec::new();
+        regroup_by_dest_shard(&input, 2, 3, &mut dest_counts, &mut out);
+
+        assert_eq!(
+            out,
+            vec![
+                delivered(1, 0, 11),
+                delivered(1, 3, 14),
+                delivered(5, 0, 10),
+                delivered(5, 2, 12),
+                delivered(6, 3, 15),
+                delivered(9, 2, 13),
+            ]
+        );
+        // dest_counts[s] is the END offset of shard s's run.
+        assert_eq!(dest_counts, vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn regroup_handles_empty_shards_and_empty_input() {
+        let mut dest_counts = Vec::new();
+        let mut out = Vec::new();
+        regroup_by_dest_shard(&[], 4, 4, &mut dest_counts, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(dest_counts, vec![0, 0, 0, 0]);
+
+        // All deliveries land in one middle shard.
+        let input = vec![delivered(20, 0, 1), delivered(17, 1, 2)];
+        regroup_by_dest_shard(&input, 4, 4, &mut dest_counts, &mut out);
+        assert_eq!(out, vec![delivered(20, 0, 1), delivered(17, 1, 2)]);
+        assert_eq!(dest_counts, vec![0, 2, 2, 2]);
     }
 }

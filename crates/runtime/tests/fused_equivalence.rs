@@ -1,0 +1,202 @@
+//! The fused-pipeline oracle at the runtime level: the shard-major fused
+//! period pipeline (the default) and the phase-major ordering it replaced
+//! (`set_phase_major(true)`) must be unobservable in every report surface.
+//!
+//! Three invariants are pinned:
+//!
+//! 1. **Digest stability** — the phase-major run of the nastiest runtime
+//!    scenario (per-channel churn, Zipf zaps with a flash-crowd storm,
+//!    rate-limited admission, bounded views) reproduces the *same* pinned
+//!    digests as `shard_determinism.rs`, whose runs go through the fused
+//!    path.  One constant therefore pins both pipelines at once.
+//! 2. **Matrix equality** — fused and phase-major reports are byte-equal
+//!    across shard counts {1, 2, 4, 8} × pool sizes {1, 2, 4, 7} and under
+//!    pipelined stepping.
+//! 3. **Event-mode agreement** — with the ideal network installed, the
+//!    event-driven core (which resolves deliveries through the same fused
+//!    scheduling pass but applies them message by message) matches both
+//!    period-lockstep pipelines byte for byte.
+//!
+//! The phase-major path is kept for one release as this suite's oracle;
+//! when it is removed, invariant 1 keeps pinning the fused pipeline alone.
+
+use fss_core::FastSwitchScheduler;
+use fss_overlay::NetworkConfig;
+use fss_runtime::zap::{CrowdZap, Storm};
+use fss_runtime::{
+    AdmissionControl, RuntimeReport, SessionConfig, SessionManager, SteppingMode, WorkerPool,
+};
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// FxHash-style digest (deterministic across processes, unlike the std
+/// `RandomState`).  Mirrors `fss_gossip::hasher::FxHasher64`.
+fn fx_digest(text: &str) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    struct Fx(u64);
+    impl Hasher for Fx {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+            }
+        }
+    }
+    let mut h = Fx(0);
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+/// The full report surface `shard_determinism.rs` pins (admission metrics
+/// included).
+fn surface(report: &RuntimeReport, timeline: &[(u64, usize)]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    write!(s, "periods={} workload={}", report.periods, report.workload).unwrap();
+    for c in &report.channels {
+        write!(
+            s,
+            " | ch{} viewers={} periods={} traffic={:?} in={} out={} lat={:?}",
+            c.channel, c.viewers, c.periods, c.traffic, c.zaps_in, c.zaps_out, c.zap_latency
+        )
+        .unwrap();
+    }
+    write!(
+        s,
+        " | cross={:?} load={:?} mem={:?} adm={:?} q={timeline:?}",
+        report.cross_channel_zaps, report.zap_load, report.mem, report.admission
+    )
+    .unwrap();
+    s
+}
+
+/// The telemetry surface of one report: the folded QoE / queue-depth
+/// timelines and the scorecard's exact text form.
+fn qoe_surface(report: &RuntimeReport) -> String {
+    format!(
+        "qoe={:?} depth={:?} card={}",
+        report.qoe_timeline,
+        report.queue_depth,
+        report.scorecard.to_text()
+    )
+}
+
+/// The churn + storm scenario of `shard_determinism.rs`, with the pipeline
+/// selector exposed.
+fn run(
+    shards: usize,
+    workers: usize,
+    mode: SteppingMode,
+    phase_major: bool,
+) -> (RuntimeReport, Vec<(u64, usize)>) {
+    let config = SessionConfig {
+        seed: 47,
+        admission: AdmissionControl {
+            max_admits_per_period: Some(6),
+            view_bound: Some(16),
+        },
+        ..SessionConfig::paper_default(4, 40)
+    };
+    let mut m = SessionManager::new(config, Arc::new(WorkerPool::new(workers)), || {
+        Box::new(FastSwitchScheduler::new())
+    });
+    m.set_zap_schedule(Box::new(CrowdZap::zipf(4, 40, 0.03, 1.2, 47).with_storms(
+        vec![Storm {
+            at: 30,
+            target: 1,
+            size: 40,
+        }],
+    )));
+    m.enable_channel_churn(9);
+    m.set_shards(shards);
+    m.set_mode(mode);
+    m.set_phase_major(phase_major);
+    m.warmup(25);
+    m.run_periods(30);
+    (m.report(), m.queue_depth_timeline())
+}
+
+/// The pinned digests of `shard_determinism.rs` — captured from fused-path
+/// runs; the phase-major oracle must land on the same bytes.
+const PINNED_DIGEST: u64 = 17188237993819082087;
+const QOE_PINNED_DIGEST: u64 = 17697973354510269892;
+
+#[test]
+fn phase_major_reproduces_the_fused_pins() {
+    let (reference, timeline) = run(1, 1, SteppingMode::Barrier, true);
+    assert_eq!(
+        fx_digest(&surface(&reference, &timeline)),
+        PINNED_DIGEST,
+        "phase-major pipeline drifted from the pinned fused baseline:\n{}",
+        surface(&reference, &timeline)
+    );
+    assert_eq!(
+        fx_digest(&qoe_surface(&reference)),
+        QOE_PINNED_DIGEST,
+        "phase-major QoE telemetry drifted from the pinned fused baseline:\n{}",
+        qoe_surface(&reference)
+    );
+}
+
+#[test]
+fn fused_and_phase_major_agree_across_shards_and_pools() {
+    let (reference, reference_timeline) = run(1, 1, SteppingMode::Barrier, false);
+    assert!(reference.total_zaps() > 0);
+    assert!(reference.admission.deferred > 0, "the storm must queue");
+
+    for &shards in &[1usize, 2, 4, 8] {
+        for &workers in &[1usize, 2, 4, 7] {
+            let (report, timeline) = run(shards, workers, SteppingMode::Barrier, true);
+            assert_eq!(
+                report, reference,
+                "phase-major shards={shards} workers={workers}"
+            );
+            assert_eq!(
+                timeline, reference_timeline,
+                "phase-major timeline shards={shards} workers={workers}"
+            );
+        }
+        // Pipelined stepping composes with the oracle too.
+        let (report, timeline) = run(shards, 4, SteppingMode::Pipelined { run_ahead: 4 }, true);
+        assert_eq!(report, reference, "pipelined phase-major shards={shards}");
+        assert_eq!(timeline, reference_timeline, "pipelined timeline");
+    }
+}
+
+/// Event-mode leg: with the ideal network, the event-driven core must match
+/// both period-lockstep pipelines byte for byte, across shard counts.
+fn run_event(shards: usize, network: Option<NetworkConfig>, phase_major: bool) -> RuntimeReport {
+    let config = SessionConfig {
+        seed: 13,
+        network,
+        ..SessionConfig::paper_default(4, 40)
+    };
+    let pool = Arc::new(WorkerPool::new(3));
+    let mut m = SessionManager::new(config, pool, || Box::new(FastSwitchScheduler::new()));
+    m.set_zap_schedule(Box::new(
+        CrowdZap::zipf(4, 40, config.zap_fraction, 1.2, 13).with_storms(vec![Storm {
+            at: 32,
+            target: 1,
+            size: 25,
+        }]),
+    ));
+    m.enable_channel_churn(5);
+    m.set_shards(shards);
+    m.set_phase_major(phase_major);
+    m.warmup(25);
+    m.run_periods(30);
+    m.report()
+}
+
+#[test]
+fn ideal_event_mode_matches_both_pipelines() {
+    let fused = run_event(1, None, false);
+    for &shards in &[1usize, 2, 4, 8] {
+        let event = run_event(shards, Some(NetworkConfig::ideal()), false);
+        assert_eq!(event, fused, "event vs fused, shards={shards}");
+        let phase_major = run_event(shards, None, true);
+        assert_eq!(phase_major, fused, "phase-major vs fused, shards={shards}");
+    }
+}

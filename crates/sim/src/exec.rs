@@ -134,6 +134,74 @@ impl<'a, T> DisjointSlots<'a, T> {
     }
 }
 
+/// Hands each chunk of a [`ScopedJob`] exclusive `&mut` access to one
+/// contiguous **range** of a caller-owned slice.
+///
+/// The range-shaped twin of [`DisjointSlots`]: where the chunk plan already
+/// partitions an index space (`(start, end)` runs of an active list, say),
+/// each chunk can take its run of a parallel output table without the
+/// caller having to split the slice up front.
+///
+/// # Safety contract
+///
+/// [`DisjointRanges::range`] is `unsafe`: the caller promises that within
+/// one `execute` run the requested ranges never overlap between
+/// concurrently live borrows.  A chunk plan that partitions `0..len`
+/// (chunks touch only their own `(start, end)`) satisfies this by
+/// construction.
+pub struct DisjointRanges<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only lends out disjoint `&mut [T]` ranges under the
+// documented contract, so sharing it across threads is exactly as safe as
+// sending each sub-slice to one thread.
+unsafe impl<T: Send> Sync for DisjointRanges<'_, T> {}
+
+impl<'a, T> DisjointRanges<'a, T> {
+    /// Wraps `slice`, taking its mutable borrow for the wrapper's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointRanges {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to `start..end`.
+    ///
+    /// # Safety
+    /// Concurrently live ranges must never overlap; two simultaneous
+    /// borrows containing the same index are undefined behaviour.  See the
+    /// type-level contract.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` is out of bounds.
+    #[allow(clippy::mut_from_ref)] // the whole point; contract documented above
+    pub unsafe fn range(&self, start: usize, end: usize) -> &mut [T] {
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of {} elements",
+            self.len
+        );
+        // SAFETY: bounds checked above; disjointness is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +242,31 @@ mod tests {
         let mut out = [0u8; 2];
         let slots = DisjointSlots::new(&mut out);
         let _ = unsafe { slots.slot(2) };
+    }
+
+    #[test]
+    fn disjoint_ranges_partition_writes() {
+        let mut out = vec![0usize; 10];
+        let chunks = [(0usize, 3usize), (3, 3), (3, 7), (7, 10)];
+        let ranges = DisjointRanges::new(&mut out);
+        assert_eq!(ranges.len(), 10);
+        assert!(!ranges.is_empty());
+        SerialExecutor.execute(chunks.len(), &|i: usize| {
+            let (start, end) = chunks[i];
+            // SAFETY: the chunk plan partitions 0..10.
+            let slice = unsafe { ranges.range(start, end) };
+            for (offset, slot) in slice.iter_mut().enumerate() {
+                *slot = start + offset + 100;
+            }
+        });
+        assert_eq!(out, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_range_panics() {
+        let mut out = [0u8; 4];
+        let ranges = DisjointRanges::new(&mut out);
+        let _ = unsafe { ranges.range(2, 5) };
     }
 }

@@ -36,7 +36,7 @@ pub mod time;
 
 pub use engine::{Engine, EventHandler, Scheduler};
 pub use event::ScheduledEvent;
-pub use exec::{DisjointSlots, JobExecutor, ScopedJob, SerialExecutor};
+pub use exec::{DisjointRanges, DisjointSlots, JobExecutor, ScopedJob, SerialExecutor};
 pub use period::{PeriodControl, PeriodDriver};
 pub use queue::EventQueue;
 pub use rng::{RngFactory, StreamRng};
